@@ -1,0 +1,98 @@
+//===- bench/BenchCommon.h - Shared harness utilities ----------------------===//
+//
+// Part of the balign project (PLDI 1997 branch-alignment reproduction).
+//
+//===--------------------------------------------------------------------===//
+///
+/// \file
+/// Utilities shared by the per-table/figure harnesses: building the suite,
+/// running whole-program alignment per data set, and simulating execution
+/// times. Every harness prints its table to stdout and exits 0 so the
+/// whole directory can be run with `for b in build/bench/*; do $b; done`.
+///
+//===--------------------------------------------------------------------===//
+
+#ifndef BALIGN_BENCH_BENCHCOMMON_H
+#define BALIGN_BENCH_BENCHCOMMON_H
+
+#include "align/Penalty.h"
+#include "align/Pipeline.h"
+#include "sim/Simulator.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace balign {
+namespace bench {
+
+/// One benchmark x data-set cell of the evaluation: the workload, which
+/// data set is under test, and the alignment trained on it.
+struct AlignedCell {
+  const WorkloadInstance *Workload = nullptr;
+  size_t DataSetIndex = 0;
+  ProgramAlignment Alignment;
+
+  std::string label() const {
+    return Workload->dataSetLabel(DataSetIndex);
+  }
+  const WorkloadDataSet &dataSet() const {
+    return Workload->DataSets[DataSetIndex];
+  }
+};
+
+/// Builds all six workloads once. Expensive (tens of millions of traced
+/// blocks); harnesses share the result across their data sets.
+inline std::vector<WorkloadInstance> buildSuite() {
+  std::vector<WorkloadInstance> Suite;
+  for (const WorkloadSpec &Spec : benchmarkSuite()) {
+    std::fprintf(stderr, "[setup] building workload %s ...\n",
+                 Spec.Benchmark.c_str());
+    Suite.push_back(buildWorkload(Spec));
+  }
+  return Suite;
+}
+
+/// Aligns every data set of every workload with the given options.
+inline std::vector<AlignedCell>
+alignSuite(const std::vector<WorkloadInstance> &Suite,
+           const AlignmentOptions &Options) {
+  std::vector<AlignedCell> Cells;
+  for (const WorkloadInstance &W : Suite) {
+    for (size_t Ds = 0; Ds != W.DataSets.size(); ++Ds) {
+      std::fprintf(stderr, "[setup] aligning %s ...\n",
+                   W.dataSetLabel(Ds).c_str());
+      AlignedCell Cell;
+      Cell.Workload = &W;
+      Cell.DataSetIndex = Ds;
+      Cell.Alignment =
+          alignProgram(W.Prog, W.DataSets[Ds].Profile, Options);
+      Cells.push_back(std::move(Cell));
+    }
+  }
+  return Cells;
+}
+
+/// Simulates \p Layouts against one data set's traces; arrangements and
+/// predictions come from \p Train (the training profile).
+inline SimResult simulateLayouts(const WorkloadInstance &W,
+                                 const std::vector<Layout> &Layouts,
+                                 const ProgramProfile &Train,
+                                 const WorkloadDataSet &TestDs,
+                                 const MachineModel &Model) {
+  std::vector<MaterializedLayout> Mats;
+  Mats.reserve(W.Prog.numProcedures());
+  for (size_t P = 0; P != W.Prog.numProcedures(); ++P)
+    Mats.push_back(
+        materializeLayout(W.Prog.proc(P), Layouts[P], Train.Procs[P],
+                          Model));
+  SimConfig Config;
+  Config.Model = Model;
+  return simulateProgram(W.Prog, Mats, TestDs.Traces, Config);
+}
+
+} // namespace bench
+} // namespace balign
+
+#endif // BALIGN_BENCH_BENCHCOMMON_H

@@ -1,0 +1,111 @@
+//===- bench/appendix_bounds.cpp - Reproduces the appendix statistics ------===//
+//
+// Part of the balign project (PLDI 1997 branch-alignment reproduction).
+//
+// The paper's appendix studies the quality of the two lower bounds on
+// branch-alignment DTSP instances:
+//
+//  * AP bound: for esp.tl, 71 of 179 procedures have AP = optimal tour;
+//    the median gap for the remaining 108 is 30%, and for 15 instances
+//    the optimum exceeds 10x the AP bound.
+//  * HK bound: per program, the sum of HK bounds is never more than 0.9%
+//    below the total tour length found; the average is < 0.3%; the worst
+//    single-procedure gap is 14%.
+//  * Solver reproducibility: on 128 of esp.tl's 179 procedures the best
+//    tour was found by all 10 runs.
+//
+// This harness recomputes every statistic. Where the true optimum is
+// needed, the exact Held-Karp DP supplies it for instances of <= 18
+// cities and the best tour found stands in above that (as in the paper,
+// which could not solve every instance exactly either).
+//
+//===--------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "support/Format.h"
+#include "support/Statistics.h"
+#include "support/Table.h"
+#include "tsp/Exact.h"
+
+using namespace balign;
+using namespace balign::bench;
+
+int main() {
+  std::printf("=== Appendix: bound quality and solver reproducibility "
+              "===\n\n");
+  std::vector<WorkloadInstance> Suite = buildSuite();
+  AlignmentOptions Options;
+  std::vector<AlignedCell> Cells = alignSuite(Suite, Options);
+
+  TextTable T;
+  T.addColumn("data set");
+  T.addColumn("procs", TextTable::AlignKind::Right);
+  T.addColumn("hk gap (sum)", TextTable::AlignKind::Right);
+  T.addColumn("worst proc hk gap", TextTable::AlignKind::Right);
+  T.addColumn("ap=opt", TextTable::AlignKind::Right);
+  T.addColumn("median ap gap", TextTable::AlignKind::Right);
+  T.addColumn("opt>10x ap", TextTable::AlignKind::Right);
+  T.addColumn("all-runs-tie", TextTable::AlignKind::Right);
+
+  for (const AlignedCell &Cell : Cells) {
+    const WorkloadInstance &W = *Cell.Workload;
+    double TourSum = 0.0, BoundSum = 0.0, WorstGap = 0.0;
+    size_t ApEqualsOpt = 0, ApBlowups = 0, AllRunsTie = 0, Active = 0;
+    std::vector<double> ApGaps;
+
+    for (size_t P = 0; P != W.Prog.numProcedures(); ++P) {
+      const ProcedureAlignment &PA = Cell.Alignment.Procs[P];
+      if (PA.OriginalPenalty == 0)
+        continue; // Untouched procedure: no instance to speak of.
+      ++Active;
+
+      // Reference "optimal": exact DP when feasible, else the TSP tour.
+      double Opt = static_cast<double>(PA.TspPenalty);
+      if (W.Prog.proc(P).numBlocks() + 1 <= MaxExactCities) {
+        AlignmentTsp Atsp = buildAlignmentTsp(
+            W.Prog.proc(P), Cell.dataSet().Profile.Procs[P], Options.Model);
+        Opt = static_cast<double>(solveExactDirected(Atsp.Tsp));
+      }
+
+      TourSum += static_cast<double>(PA.TspPenalty);
+      BoundSum += PA.Bounds.HeldKarp;
+      if (PA.TspPenalty > 0) {
+        double Gap = (static_cast<double>(PA.TspPenalty) -
+                      PA.Bounds.HeldKarp) /
+                     static_cast<double>(PA.TspPenalty);
+        WorstGap = std::max(WorstGap, Gap);
+      }
+
+      double Ap = static_cast<double>(PA.Bounds.Assignment);
+      if (Ap >= Opt - 0.5) {
+        ++ApEqualsOpt;
+      } else if (Ap > 0.0) {
+        ApGaps.push_back((Opt - Ap) / Ap);
+        if (Opt > 10.0 * Ap)
+          ++ApBlowups;
+      } else if (Opt > 0.0) {
+        ++ApBlowups; // AP bound of zero against a positive optimum.
+        ApGaps.push_back(10.0);
+      }
+      if (PA.RunsFindingBest == PA.SolverRuns)
+        ++AllRunsTie;
+    }
+
+    double SumGap =
+        TourSum > 0.0 ? (TourSum - BoundSum) / TourSum : 0.0;
+    T.addRow({Cell.label(), std::to_string(Active),
+              formatPercent(SumGap), formatPercent(WorstGap),
+              std::to_string(ApEqualsOpt) + "/" + std::to_string(Active),
+              ApGaps.empty() ? "-" : formatPercent(median(ApGaps)),
+              std::to_string(ApBlowups),
+              std::to_string(AllRunsTie) + "/" + std::to_string(Active)});
+  }
+  std::printf("%s\n", T.render().c_str());
+  std::printf("paper reference: esp.tl had 71/179 procedures with AP = "
+              "optimum, median AP gap 30%%\nfor the rest, 15 instances "
+              "with optimum > 10x AP, HK sum gap <= 0.9%% per program\n"
+              "(avg < 0.3%%, worst single-procedure gap 14%%), and "
+              "128/179 procedures where all\n10 solver runs tied the "
+              "best tour.\n");
+  return 0;
+}

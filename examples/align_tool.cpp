@@ -1,0 +1,291 @@
+//===- examples/align_tool.cpp - Command-line branch aligner ----------------===//
+//
+// Part of the balign project (PLDI 1997 branch-alignment reproduction).
+//
+// Reads a program in the textual CFG format, profiles it with a seeded
+// synthetic run, aligns every procedure with the requested method, and
+// prints a per-procedure penalty report plus the aligned block orders.
+//
+// Usage:
+//   align_tool <program.cfg> [--aligner greedy|tsp|cg|original]
+//              [--budget N] [--seed N] [--dot] [--bounds]
+//              [--profile FILE] [--emit-profile FILE]
+//
+// With no file argument a built-in demo program is used, so the tool is
+// runnable out of the box.
+//
+//===--------------------------------------------------------------------===//
+
+#include "align/Aligners.h"
+#include "align/Bounds.h"
+#include "align/Penalty.h"
+#include "ir/Dot.h"
+#include "ir/TextFormat.h"
+#include "machine/MachineModel.h"
+#include "profile/ProfileIO.h"
+#include "profile/Trace.h"
+#include "support/Format.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+using namespace balign;
+
+namespace {
+
+const char *DemoProgram = R"(program demo
+proc tokenize {
+  entry:  size 4 jump -> header
+  header: size 2 cond -> fill scan
+  fill:   size 8 jump -> scan
+  scan:   size 3 cond -> header done
+  done:   size 2 ret
+}
+proc dispatch {
+  entry:  size 3 jump -> loop
+  loop:   size 2 cond -> op exit
+  op:     size 2 multi -> add sub mul
+  add:    size 4 jump -> loop
+  sub:    size 4 jump -> loop
+  mul:    size 9 jump -> loop
+  exit:   size 1 ret
+}
+)";
+
+struct ToolOptions {
+  std::string File;
+  std::string AlignerName = "tsp";
+  std::string ProfileFile;     ///< Read counts instead of simulating.
+  std::string EmitProfileFile; ///< Dump the counts used.
+  uint64_t Budget = 50000;
+  uint64_t Seed = 1;
+  bool EmitDot = false;
+  bool ComputeBounds = false;
+};
+
+bool parseArgs(int Argc, char **Argv, ToolOptions &Options) {
+  for (int I = 1; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto needValue = [&](const char *Flag) -> const char * {
+      if (I + 1 == Argc) {
+        std::fprintf(stderr, "error: %s requires a value\n", Flag);
+        return nullptr;
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--aligner") {
+      const char *V = needValue("--aligner");
+      if (!V)
+        return false;
+      Options.AlignerName = V;
+    } else if (Arg == "--budget") {
+      const char *V = needValue("--budget");
+      if (!V)
+        return false;
+      Options.Budget = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--seed") {
+      const char *V = needValue("--seed");
+      if (!V)
+        return false;
+      Options.Seed = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--profile") {
+      const char *V = needValue("--profile");
+      if (!V)
+        return false;
+      Options.ProfileFile = V;
+    } else if (Arg == "--emit-profile") {
+      const char *V = needValue("--emit-profile");
+      if (!V)
+        return false;
+      Options.EmitProfileFile = V;
+    } else if (Arg == "--dot") {
+      Options.EmitDot = true;
+    } else if (Arg == "--bounds") {
+      Options.ComputeBounds = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      std::printf("usage: align_tool [file.cfg] [--aligner "
+                  "greedy|tsp|cg|original] [--budget N] [--seed N] "
+                  "[--dot] [--bounds] [--profile FILE] "
+                  "[--emit-profile FILE]\n");
+      return false;
+    } else if (!Arg.empty() && Arg[0] != '-') {
+      Options.File = Arg;
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", Arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// A seeded, skewed behavior: real branches are biased, not coin flips.
+BranchBehavior skewedBehavior(const Procedure &Proc, Rng &R) {
+  BranchBehavior Behavior = BranchBehavior::uniform(Proc);
+  for (BlockId B = 0; B != Proc.numBlocks(); ++B) {
+    std::vector<double> &Probs = Behavior.Probs[B];
+    if (Probs.size() == 2) {
+      double Bias = 0.70 + 0.28 * R.nextDouble();
+      size_t Hot = R.nextIndex(2);
+      Probs[Hot] = Bias;
+      Probs[1 - Hot] = 1.0 - Bias;
+    } else if (Probs.size() > 2) {
+      double Sum = 0.0;
+      for (double &P : Probs) {
+        P = 0.05 + R.nextDouble() * R.nextDouble() * 3.0;
+        Sum += P;
+      }
+      for (double &P : Probs)
+        P /= Sum;
+    }
+  }
+  return Behavior;
+}
+
+std::unique_ptr<Aligner> makeAligner(const std::string &Name) {
+  if (Name == "greedy")
+    return std::make_unique<GreedyAligner>();
+  if (Name == "tsp")
+    return std::make_unique<TspAligner>();
+  if (Name == "cg")
+    return std::make_unique<CalderGrunwaldAligner>();
+  if (Name == "original")
+    return std::make_unique<OriginalAligner>();
+  return nullptr;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ToolOptions Options;
+  if (!parseArgs(Argc, Argv, Options))
+    return 1;
+
+  std::string Text;
+  if (Options.File.empty()) {
+    Text = DemoProgram;
+    std::printf("(no input file given; using the built-in demo program)\n");
+  } else {
+    std::ifstream In(Options.File);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n",
+                   Options.File.c_str());
+      return 1;
+    }
+    std::ostringstream Buffer;
+    Buffer << In.rdbuf();
+    Text = Buffer.str();
+  }
+
+  std::string Error;
+  std::optional<Program> Prog = parseProgram(Text, &Error);
+  if (!Prog) {
+    std::fprintf(stderr, "error: parse failed: %s\n", Error.c_str());
+    return 1;
+  }
+
+  std::unique_ptr<Aligner> TheAligner = makeAligner(Options.AlignerName);
+  if (!TheAligner) {
+    std::fprintf(stderr, "error: unknown aligner '%s'\n",
+                 Options.AlignerName.c_str());
+    return 1;
+  }
+
+  // Obtain the profile: read it from disk or simulate a seeded run.
+  ProgramProfile Counts;
+  if (!Options.ProfileFile.empty()) {
+    std::ifstream ProfIn(Options.ProfileFile);
+    if (!ProfIn) {
+      std::fprintf(stderr, "error: cannot open '%s'\n",
+                   Options.ProfileFile.c_str());
+      return 1;
+    }
+    std::ostringstream ProfBuffer;
+    ProfBuffer << ProfIn.rdbuf();
+    std::optional<ProgramProfile> Parsed =
+        parseProgramProfile(*Prog, ProfBuffer.str(), &Error);
+    if (!Parsed) {
+      std::fprintf(stderr, "error: profile parse failed: %s\n",
+                   Error.c_str());
+      return 1;
+    }
+    Counts = std::move(*Parsed);
+  } else {
+    for (size_t P = 0; P != Prog->numProcedures(); ++P) {
+      const Procedure &Proc = Prog->proc(P);
+      Rng BehaviorRng(Options.Seed * 7919 + P);
+      BranchBehavior Behavior = skewedBehavior(Proc, BehaviorRng);
+      Rng TraceRng(Options.Seed * 1000003 + P);
+      TraceGenOptions TraceOptions;
+      TraceOptions.BranchBudget = Options.Budget;
+      Counts.Procs.push_back(collectProfile(
+          Proc, generateTrace(Proc, Behavior, TraceRng, TraceOptions)));
+    }
+  }
+  if (!Options.EmitProfileFile.empty()) {
+    std::ofstream ProfOut(Options.EmitProfileFile);
+    if (!ProfOut) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   Options.EmitProfileFile.c_str());
+      return 1;
+    }
+    ProfOut << printProgramProfile(*Prog, Counts);
+    std::printf("wrote profile to %s\n", Options.EmitProfileFile.c_str());
+  }
+
+  MachineModel Model = MachineModel::alpha21164();
+  TextTable Report;
+  Report.addColumn("procedure");
+  Report.addColumn("blocks", TextTable::AlignKind::Right);
+  Report.addColumn("branches", TextTable::AlignKind::Right);
+  Report.addColumn("original", TextTable::AlignKind::Right);
+  Report.addColumn(TheAligner->name(), TextTable::AlignKind::Right);
+  Report.addColumn("removed", TextTable::AlignKind::Right);
+  if (Options.ComputeBounds)
+    Report.addColumn("hk-bound", TextTable::AlignKind::Right);
+
+  for (size_t P = 0; P != Prog->numProcedures(); ++P) {
+    const Procedure &Proc = Prog->proc(P);
+    const ProcedureProfile &Profile = Counts.Procs[P];
+
+    Layout Aligned = TheAligner->align(Proc, Profile, Model);
+    uint64_t Original = evaluateLayout(Proc, Layout::original(Proc), Model,
+                                       Profile, Profile);
+    uint64_t After = evaluateLayout(Proc, Aligned, Model, Profile, Profile);
+
+    std::vector<std::string> Row = {
+        Proc.getName(),
+        std::to_string(Proc.numBlocks()),
+        formatCount(Profile.executedBranches(Proc)),
+        std::to_string(Original),
+        std::to_string(After),
+        Original > 0
+            ? formatPercent(1.0 - static_cast<double>(After) /
+                                      static_cast<double>(Original))
+            : "0%"};
+    if (Options.ComputeBounds) {
+      PenaltyBounds Bounds =
+          computePenaltyBounds(Proc, Profile, Model, After);
+      Row.push_back(formatFixed(Bounds.HeldKarp, 1));
+    }
+    Report.addRow(std::move(Row));
+
+    std::printf("proc %s layout:", Proc.getName().c_str());
+    for (BlockId Id : Aligned.Order) {
+      const BasicBlock &Block = Proc.block(Id);
+      std::printf(" %s", Block.Name.empty()
+                             ? ("b" + std::to_string(Id)).c_str()
+                             : Block.Name.c_str());
+    }
+    std::printf("\n");
+    if (Options.EmitDot)
+      std::printf("%s", printDot(Proc, &Profile.EdgeCounts).c_str());
+  }
+  std::printf("\n%s", Report.render().c_str());
+  return 0;
+}

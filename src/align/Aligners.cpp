@@ -1,0 +1,210 @@
+//===- align/Aligners.cpp -----------------------------------------------------===//
+
+#include "align/Aligners.h"
+
+#include "align/Penalty.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+using namespace balign;
+
+Aligner::~Aligner() = default;
+
+Layout OriginalAligner::align(const Procedure &Proc,
+                              const ProcedureProfile &Train,
+                              const MachineModel &Model) const {
+  (void)Train;
+  (void)Model;
+  return Layout::original(Proc);
+}
+
+namespace {
+
+/// A prioritized CFG edge for the greedy aligners.
+struct GreedyEdge {
+  uint64_t Priority; ///< Frequency (PH) or modeled benefit (CG).
+  BlockId From;
+  BlockId To;
+
+  bool operator<(const GreedyEdge &Other) const {
+    if (Priority != Other.Priority)
+      return Priority > Other.Priority; // Descending priority.
+    if (From != Other.From)
+      return From < Other.From; // Deterministic tie-breaks.
+    return To < Other.To;
+  }
+};
+
+/// Bottom-up chaining shared by GreedyAligner and CalderGrunwaldAligner:
+/// accepts edges in priority order under the Pettis-Hansen feasibility
+/// checks; returns the chains with the entry chain first.
+class ChainBuilder {
+public:
+  ChainBuilder(const Procedure &Proc, std::vector<GreedyEdge> Edges)
+      : Proc(Proc), Next(Proc.numBlocks(), InvalidBlock),
+        Prev(Proc.numBlocks(), InvalidBlock), Leader(Proc.numBlocks()) {
+    std::iota(Leader.begin(), Leader.end(), 0);
+    std::sort(Edges.begin(), Edges.end());
+    for (const GreedyEdge &E : Edges)
+      tryAccept(E);
+  }
+
+  /// Returns the chains; Chains[0] starts with the entry block.
+  std::vector<std::vector<BlockId>>
+  chains(const ProcedureProfile &Weights) const {
+    std::vector<std::vector<BlockId>> Result;
+    size_t EntryChain = 0;
+    for (BlockId Head = 0; Head != Proc.numBlocks(); ++Head) {
+      if (Prev[Head] != InvalidBlock)
+        continue;
+      std::vector<BlockId> Chain;
+      for (BlockId Walk = Head; Walk != InvalidBlock; Walk = Next[Walk])
+        Chain.push_back(Walk);
+      if (Chain.front() == Proc.entry())
+        EntryChain = Result.size();
+      Result.push_back(std::move(Chain));
+    }
+    std::swap(Result[0], Result[EntryChain]);
+
+    // Order the remaining chains by falling total execution weight
+    // (deterministic tie-break on the first block id).
+    auto ChainWeight = [&](const std::vector<BlockId> &Chain) {
+      uint64_t Sum = 0;
+      for (BlockId B : Chain)
+        Sum += Weights.blockCount(B);
+      return Sum;
+    };
+    std::sort(Result.begin() + 1, Result.end(),
+              [&](const std::vector<BlockId> &A,
+                  const std::vector<BlockId> &B) {
+                uint64_t WA = ChainWeight(A), WB = ChainWeight(B);
+                if (WA != WB)
+                  return WA > WB;
+                return A.front() < B.front();
+              });
+    return Result;
+  }
+
+private:
+  void tryAccept(const GreedyEdge &E) {
+    if (E.From == E.To)
+      return; // Self loops can never be layout edges.
+    if (E.To == Proc.entry())
+      return; // Nothing may precede the entry block.
+    if (Next[E.From] != InvalidBlock || Prev[E.To] != InvalidBlock)
+      return; // Endpoint already claimed.
+    if (find(E.From) == find(E.To))
+      return; // Would close a layout cycle.
+    Next[E.From] = E.To;
+    Prev[E.To] = E.From;
+    Leader[find(E.From)] = find(E.To);
+  }
+
+  BlockId find(BlockId B) const {
+    while (Leader[B] != B) {
+      Leader[B] = Leader[Leader[B]];
+      B = Leader[B];
+    }
+    return B;
+  }
+
+  const Procedure &Proc;
+  std::vector<BlockId> Next;
+  std::vector<BlockId> Prev;
+  mutable std::vector<BlockId> Leader;
+};
+
+Layout concatenateChains(const Procedure &Proc,
+                         const std::vector<std::vector<BlockId>> &Chains) {
+  Layout L;
+  L.Order.reserve(Proc.numBlocks());
+  for (const std::vector<BlockId> &Chain : Chains)
+    L.Order.insert(L.Order.end(), Chain.begin(), Chain.end());
+  assert(L.isValid(Proc) && "chaining lost or duplicated a block");
+  return L;
+}
+
+} // namespace
+
+Layout GreedyAligner::align(const Procedure &Proc,
+                            const ProcedureProfile &Train,
+                            const MachineModel &Model) const {
+  (void)Model; // Frequency-greedy ignores the machine model (paper 2.1).
+  std::vector<GreedyEdge> Edges;
+  for (BlockId B = 0; B != Proc.numBlocks(); ++B) {
+    const std::vector<BlockId> &Succs = Proc.successors(B);
+    for (size_t S = 0; S != Succs.size(); ++S)
+      Edges.push_back({Train.edgeCount(B, S), B, Succs[S]});
+  }
+  ChainBuilder Builder(Proc, std::move(Edges));
+  return concatenateChains(Proc, Builder.chains(Train));
+}
+
+Layout TspAligner::align(const Procedure &Proc, const ProcedureProfile &Train,
+                         const MachineModel &Model) const {
+  return alignWithStats(Proc, Train, Model).L;
+}
+
+TspAligner::Result TspAligner::alignWithStats(const Procedure &Proc,
+                                              const ProcedureProfile &Train,
+                                              const MachineModel &Model) const {
+  AlignmentTsp Atsp = buildAlignmentTsp(Proc, Train, Model);
+  DtspSolution Solution = solveDirectedTsp(Atsp.Tsp, Options);
+  Result R;
+  R.L = layoutFromTour(Proc, Atsp, Solution.Tour);
+  R.TourCost = Solution.Cost;
+  R.NumRuns = Solution.NumRuns;
+  R.RunsFindingBest = Solution.RunsFindingBest;
+  return R;
+}
+
+Layout CalderGrunwaldAligner::align(const Procedure &Proc,
+                                    const ProcedureProfile &Train,
+                                    const MachineModel &Model) const {
+  // Priority = modeled penalty saved by making To the layout successor
+  // of From, instead of laying From out next to nothing useful.
+  std::vector<GreedyEdge> Edges;
+  for (BlockId B = 0; B != Proc.numBlocks(); ++B) {
+    const std::vector<BlockId> &Succs = Proc.successors(B);
+    uint64_t Detached =
+        blockLayoutPenalty(Proc, Model, Train, Train, B, InvalidBlock);
+    for (size_t S = 0; S != Succs.size(); ++S) {
+      uint64_t Adjacent =
+          blockLayoutPenalty(Proc, Model, Train, Train, B, Succs[S]);
+      uint64_t Benefit = Detached >= Adjacent ? Detached - Adjacent : 0;
+      Edges.push_back({Benefit, B, Succs[S]});
+    }
+  }
+  ChainBuilder Builder(Proc, std::move(Edges));
+  std::vector<std::vector<BlockId>> Chains = Builder.chains(Train);
+
+  // Exhaustively order the hottest few non-entry chains; evaluate each
+  // candidate layout under the training profile.
+  size_t Permutable =
+      std::min<size_t>(MaxExhaustiveChains,
+                       Chains.size() > 1 ? Chains.size() - 1 : 0);
+  if (Permutable < 2)
+    return concatenateChains(Proc, Chains);
+
+  std::vector<size_t> Perm(Permutable);
+  std::iota(Perm.begin(), Perm.end(), 1);
+  uint64_t BestPenalty = ~static_cast<uint64_t>(0);
+  Layout Best;
+  do {
+    std::vector<std::vector<BlockId>> Candidate;
+    Candidate.push_back(Chains[0]);
+    for (size_t Index : Perm)
+      Candidate.push_back(Chains[Index]);
+    for (size_t I = 1 + Permutable; I < Chains.size(); ++I)
+      Candidate.push_back(Chains[I]);
+    Layout L = concatenateChains(Proc, Candidate);
+    uint64_t Penalty = evaluateLayout(Proc, L, Model, Train, Train);
+    if (Penalty < BestPenalty) {
+      BestPenalty = Penalty;
+      Best = std::move(L);
+    }
+  } while (std::next_permutation(Perm.begin(), Perm.end()));
+  return Best;
+}

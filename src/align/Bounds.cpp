@@ -1,0 +1,31 @@
+//===- align/Bounds.cpp -------------------------------------------------------===//
+
+#include "align/Bounds.h"
+
+#include "tsp/Assignment.h"
+
+#include <algorithm>
+
+using namespace balign;
+
+PenaltyBounds balign::computePenaltyBounds(const Procedure &Proc,
+                                           const ProcedureProfile &Train,
+                                           const MachineModel &Model,
+                                           uint64_t UpperBound,
+                                           const HeldKarpOptions &Options) {
+  AlignmentTsp Atsp = buildAlignmentTsp(Proc, Train, Model);
+  PenaltyBounds Bounds;
+
+  // The entry-pinned instance gives every feasible layout (= tour) a cost
+  // equal to its penalty: the dummy->entry edge costs 0. Lower bounds on
+  // tour cost are therefore lower bounds on penalty directly.
+  double Hk = heldKarpBoundDirected(
+      Atsp.Tsp, static_cast<int64_t>(UpperBound), Options);
+  Bounds.HeldKarp = std::clamp(Hk, 0.0, static_cast<double>(UpperBound));
+
+  AssignmentResult Ap = assignmentBound(Atsp.Tsp);
+  Bounds.Assignment =
+      std::clamp<int64_t>(Ap.Cost, 0, static_cast<int64_t>(UpperBound));
+  Bounds.AssignmentCycles = Ap.NumCycles;
+  return Bounds;
+}

@@ -1,0 +1,101 @@
+//===- align/Penalty.cpp ----------------------------------------------------===//
+
+#include "align/Penalty.h"
+
+#include <cassert>
+
+using namespace balign;
+
+bool balign::fixupTakenToPredicted(const Procedure &Proc,
+                                   const MachineModel &Model,
+                                   const ProcedureProfile &Predict,
+                                   BlockId B) {
+  assert(Proc.block(B).Kind == TerminatorKind::Conditional &&
+         "fixup orientation is a conditional-branch question");
+  size_t P = Predict.hottestSuccessor(B);
+  uint64_t FreqP = Predict.edgeCount(B, P);
+  uint64_t FreqO = Predict.edgeCount(B, 1 - P);
+  // (a) Branch targets the predicted successor (predict taken); the
+  //     unlikely edge leaves through a fall-through fixup jump.
+  uint64_t TakenToPredicted =
+      FreqP * Model.CondTakenCorrect +
+      FreqO * (Model.CondMispredict + Model.UncondBranch);
+  // (b) Branch inverted: predicted successor reached by falling through
+  //     to a fixup jump (predict not-taken); the unlikely edge is the
+  //     taken target.
+  uint64_t FallThroughToPredicted =
+      FreqP * (Model.CondFallThrough + Model.UncondBranch) +
+      FreqO * Model.CondMispredict;
+  return TakenToPredicted <= FallThroughToPredicted;
+}
+
+uint64_t balign::blockLayoutPenalty(const Procedure &Proc,
+                                    const MachineModel &Model,
+                                    const ProcedureProfile &Predict,
+                                    const ProcedureProfile &Charge, BlockId B,
+                                    BlockId LayoutSucc) {
+  const std::vector<BlockId> &Succs = Proc.successors(B);
+  switch (Proc.block(B).Kind) {
+  case TerminatorKind::Return:
+    return 0;
+
+  case TerminatorKind::Unconditional: {
+    if (LayoutSucc == Succs[0])
+      return 0; // Plain fall-through: the paper's "no branch" row.
+    return Charge.edgeCount(B, 0) * Model.UncondBranch;
+  }
+
+  case TerminatorKind::Conditional: {
+    size_t P = Predict.hottestSuccessor(B);
+    size_t O = 1 - P;
+    uint64_t ChargeP = Charge.edgeCount(B, P);
+    uint64_t ChargeO = Charge.edgeCount(B, O);
+    if (LayoutSucc == Succs[P]) {
+      // Predicted successor falls through; only the unlikely edge
+      // mispredicts.
+      return ChargeP * Model.CondFallThrough + ChargeO * Model.CondMispredict;
+    }
+    if (LayoutSucc == Succs[O]) {
+      // Branch (correctly predicted taken) reaches the predicted
+      // successor; the unlikely edge falls through but mispredicts.
+      return ChargeP * Model.CondTakenCorrect + ChargeO * Model.CondMispredict;
+    }
+    // Neither successor follows: one edge needs a fixup jump. The
+    // orientation is a compile-time decision made with Predict; cycles
+    // are charged with Charge.
+    if (fixupTakenToPredicted(Proc, Model, Predict, B))
+      return ChargeP * Model.CondTakenCorrect +
+             ChargeO * (Model.CondMispredict + Model.UncondBranch);
+    return ChargeP * (Model.CondFallThrough + Model.UncondBranch) +
+           ChargeO * Model.CondMispredict;
+  }
+
+  case TerminatorKind::Multiway: {
+    // Layout-independent: a register branch never falls through, so the
+    // same penalties accrue no matter which block succeeds it.
+    size_t P = Predict.hottestSuccessor(B);
+    uint64_t Sum = 0;
+    for (size_t S = 0; S != Succs.size(); ++S)
+      Sum += Charge.edgeCount(B, S) * (S == P ? Model.MultiwayPredicted
+                                              : Model.MultiwayMispredict);
+    return Sum;
+  }
+  }
+  assert(false && "unknown terminator kind");
+  return 0;
+}
+
+uint64_t balign::evaluateLayout(const Procedure &Proc, const Layout &Layout,
+                                const MachineModel &Model,
+                                const ProcedureProfile &Predict,
+                                const ProcedureProfile &Charge) {
+  assert(Layout.isValid(Proc) && "evaluating an invalid layout");
+  uint64_t Total = 0;
+  for (size_t I = 0; I != Layout.Order.size(); ++I) {
+    BlockId B = Layout.Order[I];
+    BlockId Next =
+        I + 1 != Layout.Order.size() ? Layout.Order[I + 1] : InvalidBlock;
+    Total += blockLayoutPenalty(Proc, Model, Predict, Charge, B, Next);
+  }
+  return Total;
+}

@@ -1,0 +1,149 @@
+//===- align/Pipeline.cpp -----------------------------------------------------===//
+
+#include "align/Pipeline.h"
+
+#include "align/Penalty.h"
+#include "support/Timer.h"
+
+#include <cassert>
+
+using namespace balign;
+
+uint64_t ProgramAlignment::totalOriginalPenalty() const {
+  uint64_t Sum = 0;
+  for (const ProcedureAlignment &P : Procs)
+    Sum += P.OriginalPenalty;
+  return Sum;
+}
+
+uint64_t ProgramAlignment::totalGreedyPenalty() const {
+  uint64_t Sum = 0;
+  for (const ProcedureAlignment &P : Procs)
+    Sum += P.GreedyPenalty;
+  return Sum;
+}
+
+uint64_t ProgramAlignment::totalTspPenalty() const {
+  uint64_t Sum = 0;
+  for (const ProcedureAlignment &P : Procs)
+    Sum += P.TspPenalty;
+  return Sum;
+}
+
+double ProgramAlignment::totalHeldKarpBound() const {
+  double Sum = 0.0;
+  for (const ProcedureAlignment &P : Procs)
+    Sum += P.Bounds.HeldKarp;
+  return Sum;
+}
+
+int64_t ProgramAlignment::totalAssignmentBound() const {
+  int64_t Sum = 0;
+  for (const ProcedureAlignment &P : Procs)
+    Sum += P.Bounds.Assignment;
+  return Sum;
+}
+
+std::vector<Layout> ProgramAlignment::originalLayouts() const {
+  std::vector<Layout> Result;
+  Result.reserve(Procs.size());
+  for (const ProcedureAlignment &P : Procs)
+    Result.push_back(P.OriginalLayout);
+  return Result;
+}
+
+std::vector<Layout> ProgramAlignment::greedyLayouts() const {
+  std::vector<Layout> Result;
+  Result.reserve(Procs.size());
+  for (const ProcedureAlignment &P : Procs)
+    Result.push_back(P.GreedyLayout);
+  return Result;
+}
+
+std::vector<Layout> ProgramAlignment::tspLayouts() const {
+  std::vector<Layout> Result;
+  Result.reserve(Procs.size());
+  for (const ProcedureAlignment &P : Procs)
+    Result.push_back(P.TspLayout);
+  return Result;
+}
+
+ProgramAlignment balign::alignProgram(const Program &Prog,
+                                      const ProgramProfile &Train,
+                                      const AlignmentOptions &Options) {
+  assert(Train.Procs.size() == Prog.numProcedures() &&
+         "profile does not match program");
+  ProgramAlignment Result;
+  Result.Procs.reserve(Prog.numProcedures());
+  GreedyAligner Greedy;
+
+  for (size_t I = 0; I != Prog.numProcedures(); ++I) {
+    const Procedure &Proc = Prog.proc(I);
+    const ProcedureProfile &Profile = Train.Procs[I];
+    ProcedureAlignment PA;
+
+    PA.OriginalLayout = Layout::original(Proc);
+    PA.OriginalPenalty = evaluateLayout(Proc, PA.OriginalLayout,
+                                        Options.Model, Profile, Profile);
+
+    // Unprofiled procedures are left alone, as a profile-guided compiler
+    // leaves untouched code in place; rearranging on a zero-cost matrix
+    // would pick an arbitrary (and, under a different input, possibly
+    // terrible) permutation.
+    if (Profile.executedBranches(Proc) == 0) {
+      PA.GreedyLayout = PA.OriginalLayout;
+      PA.TspLayout = PA.OriginalLayout;
+      Result.Procs.push_back(std::move(PA));
+      continue;
+    }
+
+    Stopwatch GreedyTimer;
+    PA.GreedyLayout = Greedy.align(Proc, Profile, Options.Model);
+    Result.GreedySeconds += GreedyTimer.seconds();
+    PA.GreedyPenalty = evaluateLayout(Proc, PA.GreedyLayout, Options.Model,
+                                      Profile, Profile);
+
+    Stopwatch MatrixTimer;
+    AlignmentTsp Atsp = buildAlignmentTsp(Proc, Profile, Options.Model);
+    Result.MatrixSeconds += MatrixTimer.seconds();
+
+    Stopwatch SolverTimer;
+    // Give each procedure a solver stream derived from the root seed so
+    // results do not depend on procedure processing order.
+    IteratedOptOptions SolverOptions = Options.Solver;
+    SolverOptions.Seed = Options.Solver.Seed + 0x9e3779b9u * (I + 1);
+    DtspSolution Solution = solveDirectedTsp(Atsp.Tsp, SolverOptions);
+    Result.SolverSeconds += SolverTimer.seconds();
+
+    PA.TspLayout = layoutFromTour(Proc, Atsp, Solution.Tour);
+    PA.TspPenalty = evaluateLayout(Proc, PA.TspLayout, Options.Model,
+                                   Profile, Profile);
+    PA.SolverRuns = Solution.NumRuns;
+    PA.RunsFindingBest = Solution.RunsFindingBest;
+
+    if (Options.ComputeBounds) {
+      Stopwatch BoundsTimer;
+      PA.Bounds = computePenaltyBounds(Proc, Profile, Options.Model,
+                                       PA.TspPenalty, Options.HeldKarp);
+      Result.BoundsSeconds += BoundsTimer.seconds();
+    }
+    Result.Procs.push_back(std::move(PA));
+  }
+  return Result;
+}
+
+uint64_t balign::evaluateProgramPenalty(const Program &Prog,
+                                        const std::vector<Layout> &Layouts,
+                                        const MachineModel &Model,
+                                        const ProgramProfile &Predict,
+                                        const ProgramProfile &Charge) {
+  assert(Layouts.size() == Prog.numProcedures() &&
+         Predict.Procs.size() == Prog.numProcedures() &&
+         Charge.Procs.size() == Prog.numProcedures() &&
+         "argument arity mismatch");
+  uint64_t Sum = 0;
+  for (size_t I = 0; I != Prog.numProcedures(); ++I)
+    Sum += evaluateLayout(Prog.proc(I), Layouts[I], Model, Predict.Procs[I],
+                          Charge.Procs[I]);
+  return Sum;
+}

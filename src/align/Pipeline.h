@@ -1,0 +1,93 @@
+//===- align/Pipeline.h - Whole-program alignment driver -------------------===//
+//
+// Part of the balign project (PLDI 1997 branch-alignment reproduction).
+//
+//===--------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the full toolchain over a program: for every procedure, builds
+/// the original/greedy/TSP layouts, evaluates their control penalties on
+/// the training profile, and (optionally) computes the Held-Karp and
+/// Assignment lower bounds. Stage wall-clock times are recorded so the
+/// Table 2 harness can report the compile-time cost of each phase the
+/// way the paper does.
+///
+//===--------------------------------------------------------------------===//
+
+#ifndef BALIGN_ALIGN_PIPELINE_H
+#define BALIGN_ALIGN_PIPELINE_H
+
+#include "align/Aligners.h"
+#include "align/Bounds.h"
+#include "align/Layout.h"
+#include "ir/CFG.h"
+#include "machine/MachineModel.h"
+#include "profile/Profile.h"
+#include "tsp/HeldKarp.h"
+#include "tsp/IteratedOpt.h"
+
+#include <vector>
+
+namespace balign {
+
+/// Configuration for alignProgram.
+struct AlignmentOptions {
+  MachineModel Model = MachineModel::alpha21164();
+  IteratedOptOptions Solver;
+  HeldKarpOptions HeldKarp;
+  bool ComputeBounds = true;
+};
+
+/// Per-procedure outcome.
+struct ProcedureAlignment {
+  Layout OriginalLayout;
+  Layout GreedyLayout;
+  Layout TspLayout;
+
+  uint64_t OriginalPenalty = 0;
+  uint64_t GreedyPenalty = 0;
+  uint64_t TspPenalty = 0;
+
+  PenaltyBounds Bounds;
+  unsigned SolverRuns = 0;
+  unsigned RunsFindingBest = 0;
+};
+
+/// Whole-program outcome plus per-stage timing.
+struct ProgramAlignment {
+  std::vector<ProcedureAlignment> Procs;
+
+  double GreedySeconds = 0.0;
+  double MatrixSeconds = 0.0;
+  double SolverSeconds = 0.0;
+  double BoundsSeconds = 0.0;
+
+  uint64_t totalOriginalPenalty() const;
+  uint64_t totalGreedyPenalty() const;
+  uint64_t totalTspPenalty() const;
+  double totalHeldKarpBound() const;
+  int64_t totalAssignmentBound() const;
+
+  /// Extracts one layout list (program order) for the simulator.
+  std::vector<Layout> originalLayouts() const;
+  std::vector<Layout> greedyLayouts() const;
+  std::vector<Layout> tspLayouts() const;
+};
+
+/// Aligns every procedure of \p Prog with the greedy and TSP methods.
+ProgramAlignment alignProgram(const Program &Prog,
+                              const ProgramProfile &Train,
+                              const AlignmentOptions &Options);
+
+/// Sums evaluateLayout over all procedures: predictions/orientations come
+/// from \p Predict, cycle charges from \p Charge (pass the same profile
+/// twice for same-data-set evaluation).
+uint64_t evaluateProgramPenalty(const Program &Prog,
+                                const std::vector<Layout> &Layouts,
+                                const MachineModel &Model,
+                                const ProgramProfile &Predict,
+                                const ProgramProfile &Charge);
+
+} // namespace balign
+
+#endif // BALIGN_ALIGN_PIPELINE_H

@@ -1,0 +1,66 @@
+//===- align/Reduction.h - Branch alignment as a DTSP ----------------------===//
+//
+// Part of the balign project (PLDI 1997 branch-alignment reproduction).
+//
+//===--------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's central reduction (Section 2.2): build a complete directed
+/// graph whose vertices are the procedure's basic blocks plus a dummy
+/// block "representing the end of the layout"; the cost of edge (B, X) is
+/// the number of penalty cycles that occur at B in a layout where X
+/// succeeds B. A minimum-cost walk through this graph is a
+/// minimum-penalty branch alignment.
+///
+/// Two engineering details beyond the paper's prose:
+///  * Cities are blocks 0..N-1 plus dummy city N. Closing the tour
+///    through the dummy turns walks into tours, so the standard cyclic
+///    DTSP machinery applies.
+///  * A procedure must be entered at its first instruction, so the entry
+///    block is pinned first: the dummy's edge to the entry costs 0 and
+///    its edges to every other block cost EntryPin, a constant larger
+///    than any real layout's total penalty. Optimal (and in practice all
+///    heuristic) tours therefore leave the dummy straight into the
+///    entry; layoutFromTour asserts but also repairs the rare heuristic
+///    violation.
+///
+//===--------------------------------------------------------------------===//
+
+#ifndef BALIGN_ALIGN_REDUCTION_H
+#define BALIGN_ALIGN_REDUCTION_H
+
+#include "align/Layout.h"
+#include "ir/CFG.h"
+#include "machine/MachineModel.h"
+#include "profile/Profile.h"
+#include "tsp/Instance.h"
+
+namespace balign {
+
+/// A branch-alignment DTSP instance: city i (< numBlocks) is block i; the
+/// last city is the dummy end-of-layout marker.
+struct AlignmentTsp {
+  DirectedTsp Tsp;
+  City DummyCity = 0;
+  int64_t EntryPin = 0;
+
+  size_t numBlocks() const { return DummyCity; }
+};
+
+/// Builds the DTSP instance for \p Proc under \p Train and \p Model.
+/// Edge costs call blockLayoutPenalty with Predict = Charge = Train, so a
+/// tour's cost equals evaluateLayout of the corresponding layout on the
+/// training profile (tested invariant).
+AlignmentTsp buildAlignmentTsp(const Procedure &Proc,
+                               const ProcedureProfile &Train,
+                               const MachineModel &Model);
+
+/// Converts a directed tour over \p Atsp back into a layout: rotates the
+/// dummy city out and, if a heuristic tour did not leave the dummy into
+/// the entry block, hoists the entry to the front.
+Layout layoutFromTour(const Procedure &Proc, const AlignmentTsp &Atsp,
+                      const std::vector<City> &Tour);
+
+} // namespace balign
+
+#endif // BALIGN_ALIGN_REDUCTION_H

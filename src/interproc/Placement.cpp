@@ -1,0 +1,71 @@
+//===- interproc/Placement.cpp ------------------------------------------------------===//
+
+#include "interproc/Placement.h"
+
+#include "sim/Replayer.h"
+
+#include <cassert>
+#include <memory>
+
+using namespace balign;
+
+std::vector<uint64_t>
+balign::placementBases(const std::vector<MaterializedLayout> &Layouts,
+                       const ProcOrder &Order, uint64_t LineBytes) {
+  assert(Order.size() == Layouts.size() && "order arity mismatch");
+  std::vector<uint64_t> Bases(Layouts.size(), 0);
+  uint64_t Address = 0;
+  for (size_t Position = 0; Position != Order.size(); ++Position) {
+    size_t Proc = Order[Position];
+    Bases[Proc] = Address;
+    Address += Layouts[Proc].TotalBytes;
+    Address = (Address + LineBytes - 1) / LineBytes * LineBytes;
+  }
+  return Bases;
+}
+
+SimResult balign::simulatePlacement(
+    const Program &Prog, const std::vector<MaterializedLayout> &Layouts,
+    const std::vector<ExecutionTrace> &Traces, const CallSequence &Sequence,
+    const ProcOrder &Order, const SimConfig &Config) {
+  size_t N = Prog.numProcedures();
+  assert(Layouts.size() == N && Traces.size() == N && Order.size() == N &&
+         "arity mismatch");
+
+  SimState State(Config);
+  std::vector<uint64_t> Bases =
+      placementBases(Layouts, Order, Config.Cache.LineBytes);
+
+  std::vector<std::vector<std::pair<size_t, size_t>>> Slices(N);
+  std::vector<size_t> NextSlice(N, 0);
+  std::vector<std::unique_ptr<TraceReplayer>> Replayers(N);
+  for (size_t P = 0; P != N; ++P) {
+    Slices[P] = invocationSlices(Prog.proc(P), Traces[P]);
+    Replayers[P] = std::make_unique<TraceReplayer>(
+        Prog.proc(P), Layouts[P], Bases[P], Config, State);
+  }
+
+  for (size_t ProcIdx : Sequence) {
+    assert(ProcIdx < N && "call sequence names an unknown procedure");
+    if (NextSlice[ProcIdx] >= Slices[ProcIdx].size())
+      continue; // Trace exhausted; tolerated for hand-built sequences.
+    auto [Begin, End] = Slices[ProcIdx][NextSlice[ProcIdx]++];
+    Replayers[ProcIdx]->replayRange(Traces[ProcIdx], Begin, End);
+  }
+
+  State.Result.CacheAccesses = State.Cache.accesses();
+  State.Result.Cycles = State.Result.BaseCycles +
+                        State.Result.ControlPenaltyCycles +
+                        State.Result.CacheMissCycles;
+  return State.Result;
+}
+
+std::vector<uint64_t>
+balign::invocationCounts(const Program &Prog,
+                         const std::vector<ExecutionTrace> &Traces) {
+  std::vector<uint64_t> Counts;
+  Counts.reserve(Traces.size());
+  for (size_t P = 0; P != Traces.size(); ++P)
+    Counts.push_back(invocationSlices(Prog.proc(P), Traces[P]).size());
+  return Counts;
+}

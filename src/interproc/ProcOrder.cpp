@@ -1,0 +1,164 @@
+//===- interproc/ProcOrder.cpp ----------------------------------------------------===//
+
+#include "interproc/ProcOrder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <numeric>
+
+using namespace balign;
+
+ProcOrder balign::originalProcOrder(size_t NumProcs) {
+  ProcOrder Order(NumProcs);
+  std::iota(Order.begin(), Order.end(), 0);
+  return Order;
+}
+
+ProcOrder balign::randomProcOrder(size_t NumProcs, uint64_t Seed) {
+  ProcOrder Order = originalProcOrder(NumProcs);
+  Rng Rand(Seed);
+  Rand.shuffle(Order);
+  return Order;
+}
+
+namespace {
+
+/// One weighted affinity edge for the greedy merger.
+struct AffinityEdge {
+  uint64_t Weight;
+  size_t A;
+  size_t B;
+
+  bool operator<(const AffinityEdge &Other) const {
+    if (Weight != Other.Weight)
+      return Weight > Other.Weight; // Heaviest first.
+    if (A != Other.A)
+      return A < Other.A;
+    return B < Other.B;
+  }
+};
+
+} // namespace
+
+ProcOrder balign::pettisHansenOrder(
+    const std::vector<std::vector<uint64_t>> &Affinity) {
+  size_t N = Affinity.size();
+  if (N == 0)
+    return {};
+
+  std::vector<AffinityEdge> Edges;
+  for (size_t A = 0; A != N; ++A)
+    for (size_t B = A + 1; B != N; ++B)
+      if (Affinity[A][B] != 0)
+        Edges.push_back({Affinity[A][B], A, B});
+  std::sort(Edges.begin(), Edges.end());
+
+  // Chains as deques; ChainOf maps a procedure to its chain id.
+  std::vector<std::deque<size_t>> Chains(N);
+  std::vector<size_t> ChainOf(N);
+  for (size_t P = 0; P != N; ++P) {
+    Chains[P] = {P};
+    ChainOf[P] = P;
+  }
+
+  auto mergeInto = [&](size_t Keep, std::deque<size_t> &&Tail) {
+    for (size_t P : Tail) {
+      Chains[Keep].push_back(P);
+      ChainOf[P] = Keep;
+    }
+  };
+
+  for (const AffinityEdge &E : Edges) {
+    size_t CA = ChainOf[E.A], CB = ChainOf[E.B];
+    if (CA == CB)
+      continue;
+    std::deque<size_t> &A = Chains[CA];
+    std::deque<size_t> &B = Chains[CB];
+    // Orient both chains so E.A sits at A's back and E.B at B's front;
+    // reversing a chain is free (affinity is symmetric). If either
+    // endpoint is interior, Pettis-Hansen simply concatenates.
+    if (A.front() == E.A)
+      std::reverse(A.begin(), A.end());
+    if (B.back() == E.B)
+      std::reverse(B.begin(), B.end());
+    mergeInto(CA, std::move(B));
+    B.clear();
+  }
+
+  // Emit surviving chains by falling total internal weight (heaviest
+  // working sets first), deterministic tie-break on the first member.
+  std::vector<size_t> Survivors;
+  for (size_t C = 0; C != N; ++C)
+    if (!Chains[C].empty())
+      Survivors.push_back(C);
+  auto ChainWeight = [&](size_t C) {
+    uint64_t Sum = 0;
+    const std::deque<size_t> &Chain = Chains[C];
+    for (size_t I = 0; I + 1 < Chain.size(); ++I)
+      Sum += Affinity[Chain[I]][Chain[I + 1]];
+    return Sum;
+  };
+  std::sort(Survivors.begin(), Survivors.end(), [&](size_t X, size_t Y) {
+    uint64_t WX = ChainWeight(X), WY = ChainWeight(Y);
+    if (WX != WY)
+      return WX > WY;
+    return Chains[X].front() < Chains[Y].front();
+  });
+
+  ProcOrder Order;
+  Order.reserve(N);
+  for (size_t C : Survivors)
+    Order.insert(Order.end(), Chains[C].begin(), Chains[C].end());
+  assert(Order.size() == N && "PH merge lost a procedure");
+  return Order;
+}
+
+ProcOrder
+balign::tspOrder(const std::vector<std::vector<uint64_t>> &Affinity,
+                 const IteratedOptOptions &Options) {
+  size_t N = Affinity.size();
+  if (N <= 1)
+    return originalProcOrder(N);
+
+  uint64_t MaxW = 0;
+  for (size_t A = 0; A != N; ++A)
+    for (size_t B = 0; B != N; ++B)
+      MaxW = std::max(MaxW, Affinity[A][B]);
+
+  DirectedTsp Tsp(N);
+  for (size_t A = 0; A != N; ++A)
+    for (size_t B = 0; B != N; ++B)
+      if (A != B)
+        Tsp.setCost(static_cast<City>(A), static_cast<City>(B),
+                    static_cast<int64_t>(MaxW - Affinity[A][B]));
+
+  DtspSolution Solution = solveDirectedTsp(Tsp, Options);
+
+  // A tour is cyclic; a placement is linear. Cut the tour at its
+  // lightest-affinity adjacency so the break costs the least.
+  size_t CutAfter = 0;
+  uint64_t CutWeight = ~static_cast<uint64_t>(0);
+  for (size_t I = 0; I != N; ++I) {
+    size_t A = Solution.Tour[I];
+    size_t B = Solution.Tour[(I + 1) % N];
+    if (Affinity[A][B] < CutWeight) {
+      CutWeight = Affinity[A][B];
+      CutAfter = I;
+    }
+  }
+  ProcOrder Order;
+  Order.reserve(N);
+  for (size_t I = 1; I <= N; ++I)
+    Order.push_back(Solution.Tour[(CutAfter + I) % N]);
+  return Order;
+}
+
+uint64_t balign::adjacentAffinity(
+    const ProcOrder &Order,
+    const std::vector<std::vector<uint64_t>> &Affinity) {
+  uint64_t Sum = 0;
+  for (size_t I = 0; I + 1 < Order.size(); ++I)
+    Sum += Affinity[Order[I]][Order[I + 1]];
+  return Sum;
+}

@@ -1,0 +1,65 @@
+//===- interproc/ProcOrder.h - Procedure-ordering algorithms ---------------===//
+//
+// Part of the balign project (PLDI 1997 branch-alignment reproduction).
+//
+//===--------------------------------------------------------------------===//
+///
+/// \file
+/// Procedure-ordering algorithms over a temporal-affinity graph,
+/// realizing the paper's interprocedural future-work direction
+/// (Section 6) with the same two algorithmic families the
+/// intraprocedural problem uses:
+///
+///  * pettisHansenOrder — the classic greedy chain merging from Pettis &
+///    Hansen's "Profile Guided Code Positioning" (the paper's reference
+///    [23]): repeatedly merge the two chains joined by the heaviest
+///    remaining affinity edge, orienting the merge to keep the heavy
+///    endpoints adjacent.
+///  * tspOrder — reduce to a (symmetric-cost) TSP: adjacency of A and B
+///    in the placement saves Affinity[A][B] "contention units", so a
+///    minimum-cost tour under cost(A,B) = MaxAffinity - Affinity[A][B]
+///    maximizes total adjacent affinity. Solved with the same iterated
+///    3-Opt machinery as branch alignment.
+///
+/// Plus original/random baselines for the placement bench.
+///
+//===--------------------------------------------------------------------===//
+
+#ifndef BALIGN_INTERPROC_PROCORDER_H
+#define BALIGN_INTERPROC_PROCORDER_H
+
+#include "support/Random.h"
+#include "tsp/IteratedOpt.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace balign {
+
+/// A placement order: ProcOrder[K] is the index of the procedure placed
+/// K-th in the address space.
+using ProcOrder = std::vector<size_t>;
+
+/// Identity order 0..N-1.
+ProcOrder originalProcOrder(size_t NumProcs);
+
+/// Seeded random permutation (the pessimal-ish baseline).
+ProcOrder randomProcOrder(size_t NumProcs, uint64_t Seed);
+
+/// Pettis-Hansen greedy chain merging on \p Affinity.
+ProcOrder
+pettisHansenOrder(const std::vector<std::vector<uint64_t>> &Affinity);
+
+/// TSP-based ordering on \p Affinity using iterated 3-Opt.
+ProcOrder tspOrder(const std::vector<std::vector<uint64_t>> &Affinity,
+                   const IteratedOptOptions &Options = {});
+
+/// Total affinity weight between procedures adjacent in \p Order — the
+/// objective both nontrivial orderers maximize.
+uint64_t
+adjacentAffinity(const ProcOrder &Order,
+                 const std::vector<std::vector<uint64_t>> &Affinity);
+
+} // namespace balign
+
+#endif // BALIGN_INTERPROC_PROCORDER_H

@@ -1,0 +1,54 @@
+//===- ir/CFGBuilder.cpp --------------------------------------------------===//
+
+#include "ir/CFGBuilder.h"
+
+#include <cassert>
+
+using namespace balign;
+
+BlockId CFGBuilder::block(TerminatorKind Kind, uint32_t InstrCount,
+                          std::string Name) {
+  BasicBlock Block;
+  Block.Kind = Kind;
+  Block.InstrCount = InstrCount;
+  Block.Name = std::move(Name);
+  return Proc.addBlock(std::move(Block));
+}
+
+BlockId CFGBuilder::jump(uint32_t InstrCount, std::string Name) {
+  return block(TerminatorKind::Unconditional, InstrCount, std::move(Name));
+}
+
+BlockId CFGBuilder::cond(uint32_t InstrCount, std::string Name) {
+  return block(TerminatorKind::Conditional, InstrCount, std::move(Name));
+}
+
+BlockId CFGBuilder::multi(uint32_t InstrCount, std::string Name) {
+  return block(TerminatorKind::Multiway, InstrCount, std::move(Name));
+}
+
+BlockId CFGBuilder::ret(uint32_t InstrCount, std::string Name) {
+  return block(TerminatorKind::Return, InstrCount, std::move(Name));
+}
+
+CFGBuilder &CFGBuilder::edge(BlockId From, BlockId To) {
+  Proc.addEdge(From, To);
+  return *this;
+}
+
+CFGBuilder &CFGBuilder::branches(BlockId From, BlockId Taken,
+                                 BlockId FallThrough) {
+  assert(Proc.block(From).Kind == TerminatorKind::Conditional &&
+         "branches() is for conditional blocks");
+  Proc.addEdge(From, Taken);
+  Proc.addEdge(From, FallThrough);
+  return *this;
+}
+
+Procedure CFGBuilder::take() {
+  std::string Error;
+  bool Ok = Proc.verify(&Error);
+  (void)Ok;
+  assert(Ok && "CFGBuilder produced an invalid procedure");
+  return std::move(Proc);
+}

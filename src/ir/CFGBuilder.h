@@ -1,0 +1,53 @@
+//===- ir/CFGBuilder.h - Convenience builder for procedures --------------===//
+//
+// Part of the balign project (PLDI 1997 branch-alignment reproduction).
+//
+//===--------------------------------------------------------------------===//
+///
+/// \file
+/// A small fluent helper for constructing verified procedures in tests,
+/// examples, and the synthetic workload generators. Blocks are declared
+/// first (fixing ids), edges added afterwards, and take() verifies the
+/// result.
+///
+//===--------------------------------------------------------------------===//
+
+#ifndef BALIGN_IR_CFGBUILDER_H
+#define BALIGN_IR_CFGBUILDER_H
+
+#include "ir/CFG.h"
+
+namespace balign {
+
+/// Builds a Procedure block-by-block; asserts validity on take().
+class CFGBuilder {
+public:
+  explicit CFGBuilder(std::string Name) : Proc(std::move(Name)) {}
+
+  /// Adds a block of kind \p Kind with \p InstrCount instructions.
+  BlockId block(TerminatorKind Kind, uint32_t InstrCount = 4,
+                std::string Name = "");
+
+  /// Shorthands for each terminator kind.
+  BlockId jump(uint32_t InstrCount = 4, std::string Name = "");
+  BlockId cond(uint32_t InstrCount = 4, std::string Name = "");
+  BlockId multi(uint32_t InstrCount = 4, std::string Name = "");
+  BlockId ret(uint32_t InstrCount = 4, std::string Name = "");
+
+  /// Adds the CFG edge From -> To (ordering is significant, see
+  /// Procedure::addEdge).
+  CFGBuilder &edge(BlockId From, BlockId To);
+
+  /// Adds From -> {Taken, FallThrough} for a conditional block.
+  CFGBuilder &branches(BlockId From, BlockId Taken, BlockId FallThrough);
+
+  /// Finishes construction; asserts the procedure verifies.
+  Procedure take();
+
+private:
+  Procedure Proc;
+};
+
+} // namespace balign
+
+#endif // BALIGN_IR_CFGBUILDER_H

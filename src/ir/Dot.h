@@ -1,0 +1,34 @@
+//===- ir/Dot.h - Graphviz export ------------------------------------------===//
+//
+// Part of the balign project (PLDI 1997 branch-alignment reproduction).
+//
+//===--------------------------------------------------------------------===//
+///
+/// \file
+/// Graphviz (dot) export of a procedure's CFG, optionally annotated with
+/// edge execution counts; handy when debugging workload generators and
+/// layouts.
+///
+//===--------------------------------------------------------------------===//
+
+#ifndef BALIGN_IR_DOT_H
+#define BALIGN_IR_DOT_H
+
+#include "ir/CFG.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace balign {
+
+/// Renders \p Proc as a dot digraph. If \p EdgeCounts is non-null it must
+/// be parallel to the successor lists (EdgeCounts[B][I] is the count of
+/// the I-th successor edge of block B) and is printed as edge labels.
+std::string
+printDot(const Procedure &Proc,
+         const std::vector<std::vector<uint64_t>> *EdgeCounts = nullptr);
+
+} // namespace balign
+
+#endif // BALIGN_IR_DOT_H

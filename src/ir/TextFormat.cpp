@@ -1,0 +1,223 @@
+//===- ir/TextFormat.cpp --------------------------------------------------===//
+
+#include "ir/TextFormat.h"
+
+#include <cassert>
+#include <map>
+#include <sstream>
+#include <vector>
+
+using namespace balign;
+
+std::string balign::printProgram(const Program &Prog) {
+  std::ostringstream Out;
+  Out << "program " << Prog.getName() << "\n";
+  for (const Procedure &Proc : Prog.procedures()) {
+    Out << "proc " << Proc.getName() << " {\n";
+    for (BlockId Id = 0; Id != Proc.numBlocks(); ++Id) {
+      const BasicBlock &Block = Proc.block(Id);
+      std::string Name =
+          Block.Name.empty() ? "b" + std::to_string(Id) : Block.Name;
+      Out << "  " << Name << ": size " << Block.InstrCount << " "
+          << terminatorKindName(Block.Kind);
+      const std::vector<BlockId> &Succs = Proc.successors(Id);
+      if (!Succs.empty()) {
+        Out << " ->";
+        for (BlockId Succ : Succs) {
+          const BasicBlock &Target = Proc.block(Succ);
+          Out << " "
+              << (Target.Name.empty() ? "b" + std::to_string(Succ)
+                                      : Target.Name);
+        }
+      }
+      Out << "\n";
+    }
+    Out << "}\n";
+  }
+  return Out.str();
+}
+
+namespace {
+
+/// Pull-based tokenizer state for one parse.
+struct Parser {
+  std::istringstream In;
+  std::string *Error;
+  unsigned LineNo = 0;
+
+  Parser(const std::string &Text, std::string *Error)
+      : In(Text), Error(Error) {}
+
+  bool fail(const std::string &Message) {
+    if (Error)
+      *Error = "line " + std::to_string(LineNo) + ": " + Message;
+    return false;
+  }
+
+  /// Reads the next non-empty, non-comment line into \p Tokens.
+  /// Returns false at end of input.
+  bool nextLine(std::vector<std::string> &Tokens) {
+    std::string Line;
+    while (std::getline(In, Line)) {
+      ++LineNo;
+      size_t Hash = Line.find('#');
+      if (Hash != std::string::npos)
+        Line.resize(Hash);
+      std::istringstream LineIn(Line);
+      Tokens.clear();
+      std::string Token;
+      while (LineIn >> Token)
+        Tokens.push_back(Token);
+      if (!Tokens.empty())
+        return true;
+    }
+    return false;
+  }
+};
+
+/// A block line awaiting successor-name resolution.
+struct PendingBlock {
+  std::string Name;
+  uint32_t Size;
+  TerminatorKind Kind;
+  std::vector<std::string> SuccNames;
+  unsigned LineNo;
+};
+
+} // namespace
+
+static std::optional<TerminatorKind> parseKind(const std::string &Word) {
+  if (Word == "jump")
+    return TerminatorKind::Unconditional;
+  if (Word == "cond")
+    return TerminatorKind::Conditional;
+  if (Word == "multi")
+    return TerminatorKind::Multiway;
+  if (Word == "ret")
+    return TerminatorKind::Return;
+  return std::nullopt;
+}
+
+/// Parses one "name: size N kind [-> succs...]" token list.
+static bool parseBlockLine(Parser &P, const std::vector<std::string> &Tokens,
+                           PendingBlock &Out) {
+  if (Tokens.size() < 4)
+    return P.fail("expected '<name>: size <n> <kind> [-> succs]'");
+  std::string Name = Tokens[0];
+  if (Name.empty() || Name.back() != ':')
+    return P.fail("block name must end in ':'");
+  Name.pop_back();
+  if (Name.empty())
+    return P.fail("empty block name");
+  if (Tokens[1] != "size")
+    return P.fail("expected 'size'");
+  uint64_t Size = 0;
+  bool SizeOk = !Tokens[2].empty() && Tokens[2].size() <= 9;
+  for (char C : Tokens[2]) {
+    if (C < '0' || C > '9') {
+      SizeOk = false;
+      break;
+    }
+    Size = Size * 10 + static_cast<uint64_t>(C - '0');
+  }
+  if (!SizeOk || Size < 1)
+    return P.fail("block size must be a positive integer");
+  std::optional<TerminatorKind> Kind = parseKind(Tokens[3]);
+  if (!Kind)
+    return P.fail("unknown terminator kind '" + Tokens[3] + "'");
+
+  Out.Name = Name;
+  Out.Size = static_cast<uint32_t>(Size);
+  Out.Kind = *Kind;
+  Out.LineNo = P.LineNo;
+  Out.SuccNames.clear();
+  if (Tokens.size() == 4)
+    return true;
+  if (Tokens[4] != "->")
+    return P.fail("expected '->' before successor list");
+  for (size_t I = 5; I != Tokens.size(); ++I)
+    Out.SuccNames.push_back(Tokens[I]);
+  if (Out.SuccNames.empty())
+    return P.fail("'->' requires at least one successor");
+  return true;
+}
+
+/// Resolves pending blocks into \p Prog; returns false on error.
+static bool finishProc(Parser &P, const std::string &ProcName,
+                       std::vector<PendingBlock> &Pending, Program &Prog) {
+  Procedure Proc(ProcName);
+  std::map<std::string, BlockId> Ids;
+  for (const PendingBlock &PB : Pending) {
+    if (Ids.count(PB.Name)) {
+      P.LineNo = PB.LineNo;
+      return P.fail("duplicate block name '" + PB.Name + "'");
+    }
+    BasicBlock Block;
+    Block.Name = PB.Name;
+    Block.InstrCount = PB.Size;
+    Block.Kind = PB.Kind;
+    Ids[PB.Name] = Proc.addBlock(std::move(Block));
+  }
+  for (const PendingBlock &PB : Pending) {
+    for (const std::string &Succ : PB.SuccNames) {
+      auto It = Ids.find(Succ);
+      if (It == Ids.end()) {
+        P.LineNo = PB.LineNo;
+        return P.fail("unknown successor '" + Succ + "'");
+      }
+      Proc.addEdge(Ids[PB.Name], It->second);
+    }
+  }
+  std::string VerifyError;
+  if (!Proc.verify(&VerifyError))
+    return P.fail(VerifyError);
+  Prog.addProcedure(std::move(Proc));
+  Pending.clear();
+  return true;
+}
+
+std::optional<Program> balign::parseProgram(const std::string &Text,
+                                            std::string *Error) {
+  Parser P(Text, Error);
+  std::vector<std::string> Tokens;
+  if (!P.nextLine(Tokens) || Tokens.size() != 2 || Tokens[0] != "program") {
+    P.fail("expected 'program <name>' header");
+    return std::nullopt;
+  }
+  Program Prog(Tokens[1]);
+
+  while (P.nextLine(Tokens)) {
+    if (Tokens.size() != 3 || Tokens[0] != "proc" || Tokens[2] != "{") {
+      P.fail("expected 'proc <name> {'");
+      return std::nullopt;
+    }
+    std::string ProcName = Tokens[1];
+    std::vector<PendingBlock> Pending;
+    bool Closed = false;
+    while (P.nextLine(Tokens)) {
+      if (Tokens.size() == 1 && Tokens[0] == "}") {
+        Closed = true;
+        break;
+      }
+      PendingBlock PB;
+      if (!parseBlockLine(P, Tokens, PB))
+        return std::nullopt;
+      Pending.push_back(std::move(PB));
+    }
+    if (!Closed) {
+      P.fail("unterminated proc '" + ProcName + "'");
+      return std::nullopt;
+    }
+    if (Pending.empty()) {
+      P.fail("proc '" + ProcName + "' has no blocks");
+      return std::nullopt;
+    }
+    if (!finishProc(P, ProcName, Pending, Prog))
+      return std::nullopt;
+  }
+  if (Prog.numProcedures() == 0) {
+    P.fail("program has no procedures");
+    return std::nullopt;
+  }
+  return Prog;
+}

@@ -1,0 +1,47 @@
+//===- ir/TextFormat.h - Textual CFG serialization ------------------------===//
+//
+// Part of the balign project (PLDI 1997 branch-alignment reproduction).
+//
+//===--------------------------------------------------------------------===//
+///
+/// \file
+/// A line-oriented text format for programs, used by the align_tool
+/// example and by round-trip tests. Grammar (comments start with '#'):
+///
+/// \code
+///   program <name>
+///   proc <name> {
+///     <block>: size <n> ret
+///     <block>: size <n> jump -> <succ>
+///     <block>: size <n> cond -> <taken> <fallthrough>
+///     <block>: size <n> multi -> <succ> <succ> ...
+///   }
+/// \endcode
+///
+/// Blocks are numbered in declaration order; the first block of a proc is
+/// its entry. Successor references may be forward.
+///
+//===--------------------------------------------------------------------===//
+
+#ifndef BALIGN_IR_TEXTFORMAT_H
+#define BALIGN_IR_TEXTFORMAT_H
+
+#include "ir/CFG.h"
+
+#include <optional>
+#include <string>
+
+namespace balign {
+
+/// Serializes \p Prog in the text format above.
+std::string printProgram(const Program &Prog);
+
+/// Parses a program; on failure returns std::nullopt and stores a
+/// diagnostic ("line N: message") in \p Error if non-null. The parsed
+/// program is verified before being returned.
+std::optional<Program> parseProgram(const std::string &Text,
+                                    std::string *Error = nullptr);
+
+} // namespace balign
+
+#endif // BALIGN_IR_TEXTFORMAT_H

@@ -1,0 +1,43 @@
+//===- machine/Btb.cpp ---------------------------------------------------------------===//
+
+#include "machine/Btb.h"
+
+#include "machine/MachineModel.h" // BytesPerInstr
+
+#include <cassert>
+
+using namespace balign;
+
+static constexpr uint64_t EmptyTag = ~static_cast<uint64_t>(0);
+
+Btb::Btb(size_t Entries) {
+  assert(Entries != 0 && (Entries & (Entries - 1)) == 0 &&
+         "entry count must be a power of two");
+  Tags.assign(Entries, EmptyTag);
+  Targets.assign(Entries, 0);
+}
+
+size_t Btb::indexOf(uint64_t Addr) const {
+  return static_cast<size_t>((Addr / BytesPerInstr) & (Tags.size() - 1));
+}
+
+bool Btb::hit(uint64_t Addr, uint64_t Target) const {
+  ++Lookups;
+  size_t Index = indexOf(Addr);
+  if (Tags[Index] == Addr && Targets[Index] == Target) {
+    ++Hits;
+    return true;
+  }
+  return false;
+}
+
+void Btb::update(uint64_t Addr, uint64_t Target) {
+  size_t Index = indexOf(Addr);
+  Tags[Index] = Addr;
+  Targets[Index] = Target;
+}
+
+void Btb::reset() {
+  Tags.assign(Tags.size(), EmptyTag);
+  Targets.assign(Targets.size(), 0);
+}

@@ -1,0 +1,87 @@
+//===- machine/MachineModel.h - Control-penalty machine models ------------===//
+//
+// Part of the balign project (PLDI 1997 branch-alignment reproduction).
+//
+//===--------------------------------------------------------------------===//
+///
+/// \file
+/// Machine models assigning penalty cycles to block-ending control events,
+/// generalizing the paper's pTT/pTN/pNT/pNN scheme per terminator kind
+/// (Section 2.2 notes the penalties may depend on the branch kind; Table 3
+/// gives the Alpha 21164 instantiation used throughout the evaluation).
+///
+/// Table 3 (Alpha 21164):
+///   block-ending control    event                                penalty
+///   no branch               fall through                         0 (pNN)
+///   unconditional branch    always taken                         2 (pTT)
+///   conditional branch      fall through to common successor     0 (pNN)
+///   conditional branch      taken branch to common successor     1 (pTT)
+///   conditional branch      mispredicted (any layout)            5 (pTN/pNT)
+///   register branch         branch to common (predicted) target  1 (pTT)
+///   register branch         branch to any other CFG successor    3 (pNT/pTN)
+///
+/// "No branch" vs "unconditional branch" is a layout property of a
+/// single-successor block: falling through costs 0; a required jump costs
+/// 2 (one cycle to issue the jump plus the one-cycle misfetch). The same
+/// 2-cycle figure prices the fixup jumps the aligner inserts, which the
+/// paper counts as separate basic blocks whose penalty is attached to the
+/// DTSP edge that created them.
+///
+//===--------------------------------------------------------------------===//
+
+#ifndef BALIGN_MACHINE_MACHINEMODEL_H
+#define BALIGN_MACHINE_MACHINEMODEL_H
+
+#include <cstdint>
+#include <string>
+
+namespace balign {
+
+/// Bytes per instruction used for address assignment (Alpha: fixed
+/// 4-byte encoding).
+inline constexpr uint64_t BytesPerInstr = 4;
+
+/// Penalty cycles for every block-ending control event, per terminator
+/// kind. All values are per dynamic execution of the event.
+struct MachineModel {
+  std::string Name = "custom";
+
+  /// Conditional branch, predicted direction, not taken (fall through to
+  /// the layout successor). Table 3's pNN row: 0 on the 21164.
+  uint32_t CondFallThrough = 0;
+
+  /// Conditional branch, predicted direction, taken. Pays the misfetch:
+  /// 1 cycle on the 21164 (pTT).
+  uint32_t CondTakenCorrect = 1;
+
+  /// Conditional branch, mispredicted, either direction, any layout:
+  /// 5 cycles on the 21164 (pTN / pNT).
+  uint32_t CondMispredict = 5;
+
+  /// Unconditional branch (including aligner-inserted fixup jumps):
+  /// 2 cycles on the 21164 (pTT for jumps).
+  uint32_t UncondBranch = 2;
+
+  /// Multiway (register) branch to its most common (predicted) target:
+  /// 1 cycle (pTT); the target buffer supplies the address but the
+  /// redirect still misfetches.
+  uint32_t MultiwayPredicted = 1;
+
+  /// Multiway branch to any other CFG successor: 3 cycles (pNT/pTN).
+  uint32_t MultiwayMispredict = 3;
+
+  /// The Alpha 21164 model of Table 3 (misfetch 1, cond mispredict 5).
+  static MachineModel alpha21164();
+
+  /// A deeper speculative pipeline (ablation): misfetch 3, mispredict 20,
+  /// jumps 4, multiway 3/12. Models the Section 6 "other machine models"
+  /// future-work direction.
+  static MachineModel deepPipeline();
+
+  /// Nearly-free branches (ablation): only mispredicts cost anything.
+  static MachineModel cheapBranch();
+};
+
+} // namespace balign
+
+#endif // BALIGN_MACHINE_MACHINEMODEL_H

@@ -1,0 +1,40 @@
+//===- machine/Predictors.cpp ---------------------------------------------------===//
+
+#include "machine/Predictors.h"
+
+#include "machine/MachineModel.h" // BytesPerInstr
+
+#include <cassert>
+
+using namespace balign;
+
+BimodalPredictor::BimodalPredictor(size_t Entries) {
+  assert(Entries != 0 && (Entries & (Entries - 1)) == 0 &&
+         "entry count must be a power of two");
+  Counters.assign(Entries, 1); // Weakly not-taken.
+}
+
+size_t BimodalPredictor::indexOf(uint64_t Addr) const {
+  // Branches are instruction-aligned; drop the byte-offset bits so
+  // consecutive instructions map to consecutive counters.
+  return static_cast<size_t>((Addr / BytesPerInstr) &
+                             (Counters.size() - 1));
+}
+
+bool BimodalPredictor::predict(uint64_t Addr) const {
+  return Counters[indexOf(Addr)] >= 2;
+}
+
+void BimodalPredictor::update(uint64_t Addr, bool Taken) {
+  uint8_t &Counter = Counters[indexOf(Addr)];
+  if (Taken) {
+    if (Counter < 3)
+      ++Counter;
+  } else if (Counter > 0) {
+    --Counter;
+  }
+}
+
+void BimodalPredictor::reset() {
+  Counters.assign(Counters.size(), 1);
+}

@@ -1,0 +1,83 @@
+//===- profile/Profile.h - Edge-frequency profiles ------------------------===//
+//
+// Part of the balign project (PLDI 1997 branch-alignment reproduction).
+//
+//===--------------------------------------------------------------------===//
+///
+/// \file
+/// Edge-frequency profiles: the only information the branch-alignment
+/// algorithms need from a program run. The paper instruments programs
+/// with HALT and profiles a training input; we collect the identical data
+/// (per-CFG-edge execution counts) from traces produced by the generator
+/// in Trace.h.
+///
+/// Counts are stored parallel to Procedure successor lists:
+/// EdgeCounts[B][I] is how many times execution followed the I-th
+/// successor edge of block B.
+///
+//===--------------------------------------------------------------------===//
+
+#ifndef BALIGN_PROFILE_PROFILE_H
+#define BALIGN_PROFILE_PROFILE_H
+
+#include "ir/CFG.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace balign {
+
+/// Per-procedure edge and block execution counts.
+struct ProcedureProfile {
+  /// EdgeCounts[B][I]: executions of the I-th successor edge of block B.
+  std::vector<std::vector<uint64_t>> EdgeCounts;
+
+  /// BlockCounts[B]: executions of block B (entries into the block).
+  std::vector<uint64_t> BlockCounts;
+
+  /// Creates a zeroed profile shaped like \p Proc.
+  static ProcedureProfile zeroed(const Procedure &Proc);
+
+  /// Total executions of conditional and multiway branch instructions
+  /// (the paper's "executed branch instructions", Table 1).
+  uint64_t executedBranches(const Procedure &Proc) const;
+
+  /// Number of conditional/multiway blocks executed at least once (the
+  /// paper's "branch sites touched", Table 1).
+  size_t branchSitesTouched(const Procedure &Proc) const;
+
+  /// Total dynamic instruction count (sum over blocks of
+  /// BlockCounts[B] * InstrCount).
+  uint64_t dynamicInstructions(const Procedure &Proc) const;
+
+  /// Executions of block \p Id.
+  uint64_t blockCount(BlockId Id) const { return BlockCounts[Id]; }
+
+  /// Count of the edge \p From -> its \p SuccIndex-th successor.
+  uint64_t edgeCount(BlockId From, size_t SuccIndex) const {
+    return EdgeCounts[From][SuccIndex];
+  }
+
+  /// Index of the most frequently taken successor edge of \p From (ties
+  /// broken toward the lower index so results are deterministic).
+  /// Returns 0 for blocks with successors but no executions.
+  size_t hottestSuccessor(BlockId From) const;
+
+  /// Checks the internal consistency invariant: for every non-return
+  /// block, the outgoing edge counts sum to the block count.
+  bool isFlowConsistent(const Procedure &Proc) const;
+};
+
+/// Whole-program profile: one ProcedureProfile per procedure, in program
+/// order.
+struct ProgramProfile {
+  std::vector<ProcedureProfile> Procs;
+
+  uint64_t executedBranches(const Program &Prog) const;
+  size_t branchSitesTouched(const Program &Prog) const;
+  uint64_t dynamicInstructions(const Program &Prog) const;
+};
+
+} // namespace balign
+
+#endif // BALIGN_PROFILE_PROFILE_H

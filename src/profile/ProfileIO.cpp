@@ -1,0 +1,199 @@
+//===- profile/ProfileIO.cpp -------------------------------------------------------===//
+
+#include "profile/ProfileIO.h"
+
+#include <cassert>
+#include <map>
+#include <sstream>
+
+using namespace balign;
+
+static std::string blockName(const Procedure &Proc, BlockId Id) {
+  const BasicBlock &Block = Proc.block(Id);
+  return Block.Name.empty() ? "b" + std::to_string(Id) : Block.Name;
+}
+
+std::string balign::printProgramProfile(const Program &Prog,
+                                        const ProgramProfile &Profile) {
+  assert(Profile.Procs.size() == Prog.numProcedures() &&
+         "profile does not match program");
+  std::ostringstream Out;
+  Out << "profile " << Prog.getName() << "\n";
+  for (size_t P = 0; P != Prog.numProcedures(); ++P) {
+    const Procedure &Proc = Prog.proc(P);
+    const ProcedureProfile &PP = Profile.Procs[P];
+    Out << "proc " << Proc.getName() << " {\n";
+    for (BlockId Id = 0; Id != Proc.numBlocks(); ++Id) {
+      Out << "  " << blockName(Proc, Id) << ": " << PP.blockCount(Id);
+      const std::vector<BlockId> &Succs = Proc.successors(Id);
+      if (!Succs.empty()) {
+        Out << " ->";
+        for (size_t S = 0; S != Succs.size(); ++S)
+          Out << " " << blockName(Proc, Succs[S]) << ":"
+              << PP.edgeCount(Id, S);
+      }
+      Out << "\n";
+    }
+    Out << "}\n";
+  }
+  return Out.str();
+}
+
+namespace {
+
+/// Minimal line-splitting parser state shared with the CFG parser idiom.
+struct ProfileParser {
+  std::istringstream In;
+  std::string *Error;
+  unsigned LineNo = 0;
+
+  ProfileParser(const std::string &Text, std::string *Error)
+      : In(Text), Error(Error) {}
+
+  bool fail(const std::string &Message) {
+    if (Error)
+      *Error = "line " + std::to_string(LineNo) + ": " + Message;
+    return false;
+  }
+
+  bool nextLine(std::vector<std::string> &Tokens) {
+    std::string Line;
+    while (std::getline(In, Line)) {
+      ++LineNo;
+      size_t Hash = Line.find('#');
+      if (Hash != std::string::npos)
+        Line.resize(Hash);
+      std::istringstream LineIn(Line);
+      Tokens.clear();
+      std::string Token;
+      while (LineIn >> Token)
+        Tokens.push_back(Token);
+      if (!Tokens.empty())
+        return true;
+    }
+    return false;
+  }
+};
+
+bool parseUInt(const std::string &Text, uint64_t &Out) {
+  if (Text.empty() || Text.size() > 19)
+    return false;
+  Out = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9')
+      return false;
+    Out = Out * 10 + static_cast<uint64_t>(C - '0');
+  }
+  return true;
+}
+
+} // namespace
+
+std::optional<ProgramProfile>
+balign::parseProgramProfile(const Program &Prog, const std::string &Text,
+                            std::string *Error) {
+  ProfileParser P(Text, Error);
+  std::vector<std::string> Tokens;
+  if (!P.nextLine(Tokens) || Tokens.size() != 2 || Tokens[0] != "profile") {
+    P.fail("expected 'profile <name>' header");
+    return std::nullopt;
+  }
+
+  // Name lookup tables.
+  std::map<std::string, size_t> ProcOf;
+  for (size_t I = 0; I != Prog.numProcedures(); ++I)
+    ProcOf[Prog.proc(I).getName()] = I;
+
+  ProgramProfile Profile;
+  for (size_t I = 0; I != Prog.numProcedures(); ++I)
+    Profile.Procs.push_back(ProcedureProfile::zeroed(Prog.proc(I)));
+
+  while (P.nextLine(Tokens)) {
+    if (Tokens.size() != 3 || Tokens[0] != "proc" || Tokens[2] != "{") {
+      P.fail("expected 'proc <name> {'");
+      return std::nullopt;
+    }
+    auto ProcIt = ProcOf.find(Tokens[1]);
+    if (ProcIt == ProcOf.end()) {
+      P.fail("unknown procedure '" + Tokens[1] + "'");
+      return std::nullopt;
+    }
+    const Procedure &Proc = Prog.proc(ProcIt->second);
+    ProcedureProfile &PP = Profile.Procs[ProcIt->second];
+
+    std::map<std::string, BlockId> BlockOf;
+    for (BlockId Id = 0; Id != Proc.numBlocks(); ++Id)
+      BlockOf[blockName(Proc, Id)] = Id;
+
+    bool Closed = false;
+    while (P.nextLine(Tokens)) {
+      if (Tokens.size() == 1 && Tokens[0] == "}") {
+        Closed = true;
+        break;
+      }
+      if (Tokens.size() < 2 || Tokens[0].empty() ||
+          Tokens[0].back() != ':') {
+        P.fail("expected '<block>: <count> [-> succ:count ...]'");
+        return std::nullopt;
+      }
+      std::string Name = Tokens[0].substr(0, Tokens[0].size() - 1);
+      auto BlockIt = BlockOf.find(Name);
+      if (BlockIt == BlockOf.end()) {
+        P.fail("unknown block '" + Name + "'");
+        return std::nullopt;
+      }
+      BlockId Id = BlockIt->second;
+      uint64_t Count = 0;
+      if (!parseUInt(Tokens[1], Count)) {
+        P.fail("bad block count '" + Tokens[1] + "'");
+        return std::nullopt;
+      }
+      PP.BlockCounts[Id] = Count;
+
+      const std::vector<BlockId> &Succs = Proc.successors(Id);
+      if (Tokens.size() == 2)
+        continue;
+      if (Tokens[2] != "->") {
+        P.fail("expected '->' before edge counts");
+        return std::nullopt;
+      }
+      for (size_t T = 3; T != Tokens.size(); ++T) {
+        size_t Colon = Tokens[T].rfind(':');
+        if (Colon == std::string::npos || Colon == 0 ||
+            Colon + 1 == Tokens[T].size()) {
+          P.fail("expected '<succ>:<count>', got '" + Tokens[T] + "'");
+          return std::nullopt;
+        }
+        std::string SuccName = Tokens[T].substr(0, Colon);
+        uint64_t EdgeCount = 0;
+        if (!parseUInt(Tokens[T].substr(Colon + 1), EdgeCount)) {
+          P.fail("bad edge count in '" + Tokens[T] + "'");
+          return std::nullopt;
+        }
+        auto SuccIt = BlockOf.find(SuccName);
+        if (SuccIt == BlockOf.end()) {
+          P.fail("unknown successor '" + SuccName + "'");
+          return std::nullopt;
+        }
+        bool Matched = false;
+        for (size_t S = 0; S != Succs.size(); ++S) {
+          if (Succs[S] == SuccIt->second) {
+            PP.EdgeCounts[Id][S] = EdgeCount;
+            Matched = true;
+            break;
+          }
+        }
+        if (!Matched) {
+          P.fail("edge " + Name + " -> " + SuccName +
+                 " does not exist in the CFG");
+          return std::nullopt;
+        }
+      }
+    }
+    if (!Closed) {
+      P.fail("unterminated proc '" + Proc.getName() + "'");
+      return std::nullopt;
+    }
+  }
+  return Profile;
+}

@@ -1,0 +1,52 @@
+//===- profile/ProfileIO.h - Textual profile serialization -----------------===//
+//
+// Part of the balign project (PLDI 1997 branch-alignment reproduction).
+//
+//===--------------------------------------------------------------------===//
+///
+/// \file
+/// A line-oriented text format for edge profiles, the on-disk analogue of
+/// the HALT profile files the paper's toolchain exchanged between the
+/// instrumented run and the optimizing rebuild. Grammar (comments start
+/// with '#'):
+///
+/// \code
+///   profile <program-name>
+///   proc <name> {
+///     <block>: <block-count> [-> <succ>:<count> ...]
+///   }
+/// \endcode
+///
+/// Blocks with no successors omit the arrow; blocks and successors are
+/// referenced by their CFG names (or b<index> when unnamed). Parsing
+/// validates against the program's CFG: every edge must exist and the
+/// shape must match.
+///
+//===--------------------------------------------------------------------===//
+
+#ifndef BALIGN_PROFILE_PROFILEIO_H
+#define BALIGN_PROFILE_PROFILEIO_H
+
+#include "ir/CFG.h"
+#include "profile/Profile.h"
+
+#include <optional>
+#include <string>
+
+namespace balign {
+
+/// Serializes \p Profile (which must match \p Prog's shape).
+std::string printProgramProfile(const Program &Prog,
+                                const ProgramProfile &Profile);
+
+/// Parses a profile against \p Prog. On failure returns std::nullopt and
+/// stores "line N: message" in \p Error if non-null. Blocks omitted from
+/// a proc body default to zero counts; procs omitted entirely default to
+/// zeroed profiles.
+std::optional<ProgramProfile>
+parseProgramProfile(const Program &Prog, const std::string &Text,
+                    std::string *Error = nullptr);
+
+} // namespace balign
+
+#endif // BALIGN_PROFILE_PROFILEIO_H

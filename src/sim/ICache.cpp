@@ -1,0 +1,40 @@
+//===- sim/ICache.cpp ----------------------------------------------------------===//
+
+#include "sim/ICache.h"
+
+#include <cassert>
+
+using namespace balign;
+
+static constexpr uint64_t EmptyTag = ~static_cast<uint64_t>(0);
+
+ICache::ICache(ICacheConfig Config) : Config(Config) {
+  assert(Config.LineBytes != 0 && Config.SizeBytes % Config.LineBytes == 0 &&
+         "cache size must be a multiple of the line size");
+  Tags.assign(Config.numLines(), EmptyTag);
+}
+
+bool ICache::access(uint64_t Addr) {
+  uint64_t Line = Addr / Config.LineBytes;
+  uint64_t Index = Line % Config.numLines();
+  if (Tags[Index] == Line) {
+    ++Hits;
+    return true;
+  }
+  Tags[Index] = Line;
+  ++Misses;
+  return false;
+}
+
+uint64_t ICache::accessRange(uint64_t Addr, uint64_t Bytes) {
+  assert(Bytes != 0 && "empty fetch range");
+  uint64_t FirstLine = Addr / Config.LineBytes;
+  uint64_t LastLine = (Addr + Bytes - 1) / Config.LineBytes;
+  uint64_t MissesHere = 0;
+  for (uint64_t Line = FirstLine; Line <= LastLine; ++Line)
+    if (!access(Line * Config.LineBytes))
+      ++MissesHere;
+  return MissesHere;
+}
+
+void ICache::reset() { Tags.assign(Config.numLines(), EmptyTag); }

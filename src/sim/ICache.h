@@ -1,0 +1,68 @@
+//===- sim/ICache.h - Direct-mapped instruction cache ----------------------===//
+//
+// Part of the balign project (PLDI 1997 branch-alignment reproduction).
+//
+//===--------------------------------------------------------------------===//
+///
+/// \file
+/// A direct-mapped instruction cache model. The paper found (via IPROBE)
+/// that "good branch alignments also appear to be good for caching" —
+/// cache effects the control-penalty model does not capture explain why
+/// the TSP layout beats greedy in measured time more than in computed
+/// penalties. The pipeline simulator uses this cache to let the same
+/// effect emerge: blocks adjacent in layout share lines, so layouts with
+/// more fall-throughs touch fewer lines per loop iteration.
+///
+/// Defaults follow the Alpha 21164 L1 instruction cache: 8 KB,
+/// direct-mapped, 32-byte lines.
+///
+//===--------------------------------------------------------------------===//
+
+#ifndef BALIGN_SIM_ICACHE_H
+#define BALIGN_SIM_ICACHE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace balign {
+
+/// Geometry of the instruction cache.
+struct ICacheConfig {
+  uint64_t SizeBytes = 8192;
+  uint64_t LineBytes = 32;
+
+  uint64_t numLines() const { return SizeBytes / LineBytes; }
+};
+
+/// Direct-mapped cache of line tags.
+class ICache {
+public:
+  explicit ICache(ICacheConfig Config = {});
+
+  /// Touches the line containing \p Addr; returns true on hit.
+  bool access(uint64_t Addr);
+
+  /// Touches every line overlapping [Addr, Addr + Bytes); returns the
+  /// number of misses.
+  uint64_t accessRange(uint64_t Addr, uint64_t Bytes);
+
+  /// Invalidates the whole cache.
+  void reset();
+
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+  uint64_t accesses() const { return Hits + Misses; }
+
+  const ICacheConfig &config() const { return Config; }
+
+private:
+  ICacheConfig Config;
+  std::vector<uint64_t> Tags;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+} // namespace balign
+
+#endif // BALIGN_SIM_ICACHE_H

@@ -1,0 +1,65 @@
+//===- support/Table.cpp --------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace balign;
+
+void TextTable::addColumn(std::string Name, AlignKind Align) {
+  assert(Rows.empty() && "add all columns before adding rows");
+  Columns.push_back({std::move(Name), Align});
+}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Columns.size() && "row arity mismatch");
+  Rows.push_back({/*IsSeparator=*/false, std::move(Cells)});
+}
+
+void TextTable::addSeparator() {
+  Rows.push_back({/*IsSeparator=*/true, {}});
+}
+
+std::string TextTable::render() const {
+  std::vector<size_t> Widths(Columns.size(), 0);
+  for (size_t C = 0; C != Columns.size(); ++C)
+    Widths[C] = Columns[C].Name.size();
+  for (const Row &R : Rows) {
+    if (R.IsSeparator)
+      continue;
+    for (size_t C = 0; C != R.Cells.size(); ++C)
+      Widths[C] = std::max(Widths[C], R.Cells[C].size());
+  }
+
+  auto renderCell = [&](const std::string &Text, size_t C) {
+    std::string Pad(Widths[C] - Text.size(), ' ');
+    return Columns[C].Align == AlignKind::Left ? Text + Pad : Pad + Text;
+  };
+  auto renderSeparator = [&] {
+    std::string Line;
+    for (size_t C = 0; C != Columns.size(); ++C) {
+      Line += std::string(Widths[C], '-');
+      Line += C + 1 == Columns.size() ? "\n" : "-+-";
+    }
+    return Line;
+  };
+
+  std::string Out;
+  for (size_t C = 0; C != Columns.size(); ++C) {
+    Out += renderCell(Columns[C].Name, C);
+    Out += C + 1 == Columns.size() ? "\n" : " | ";
+  }
+  Out += renderSeparator();
+  for (const Row &R : Rows) {
+    if (R.IsSeparator) {
+      Out += renderSeparator();
+      continue;
+    }
+    for (size_t C = 0; C != R.Cells.size(); ++C) {
+      Out += renderCell(R.Cells[C], C);
+      Out += C + 1 == Columns.size() ? "\n" : " | ";
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,127 @@
+//===- tsp/Construct.cpp ----------------------------------------------------===//
+
+#include "tsp/Construct.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+using namespace balign;
+
+std::vector<City> balign::nearestNeighborTour(const DirectedTsp &Dtsp,
+                                              Rng &Rng,
+                                              unsigned CandidateWindow) {
+  size_t N = Dtsp.numCities();
+  assert(N >= 1 && "empty instance");
+  std::vector<City> Tour;
+  Tour.reserve(N);
+  std::vector<bool> Visited(N, false);
+
+  City Current = static_cast<City>(Rng.nextIndex(N));
+  Tour.push_back(Current);
+  Visited[Current] = true;
+
+  std::vector<City> Candidates;
+  while (Tour.size() != N) {
+    // Gather the best `CandidateWindow` unvisited continuations.
+    Candidates.clear();
+    for (City Next = 0; Next != N; ++Next) {
+      if (Visited[Next])
+        continue;
+      Candidates.push_back(Next);
+    }
+    size_t Window = std::min<size_t>(std::max(1u, CandidateWindow),
+                                     Candidates.size());
+    std::partial_sort(Candidates.begin(), Candidates.begin() + Window,
+                      Candidates.end(), [&](City A, City B) {
+                        int64_t CA = Dtsp.cost(Current, A);
+                        int64_t CB = Dtsp.cost(Current, B);
+                        return CA != CB ? CA < CB : A < B;
+                      });
+    Current = Candidates[Rng.nextIndex(Window)];
+    Tour.push_back(Current);
+    Visited[Current] = true;
+  }
+  return Tour;
+}
+
+namespace {
+
+/// An arc candidate for greedy-edge construction.
+struct Arc {
+  int64_t Cost;
+  uint64_t Jitter; // Randomized tie-break.
+  City From;
+  City To;
+
+  bool operator<(const Arc &Other) const {
+    if (Cost != Other.Cost)
+      return Cost < Other.Cost;
+    return Jitter < Other.Jitter;
+  }
+};
+
+} // namespace
+
+std::vector<City> balign::greedyEdgeTour(const DirectedTsp &Dtsp, Rng &Rng) {
+  size_t N = Dtsp.numCities();
+  assert(N >= 1 && "empty instance");
+  if (N == 1)
+    return {0};
+
+  std::vector<Arc> Arcs;
+  Arcs.reserve(N * (N - 1));
+  for (City From = 0; From != N; ++From)
+    for (City To = 0; To != N; ++To)
+      if (From != To)
+        Arcs.push_back({Dtsp.cost(From, To), Rng.next(), From, To});
+  std::sort(Arcs.begin(), Arcs.end());
+
+  std::vector<City> Succ(N, InvalidCity);
+  std::vector<City> Pred(N, InvalidCity);
+  // Fragment tracking via union-find so accepting an arc never closes a
+  // premature cycle (only the final arc may close the full tour).
+  std::vector<City> Leader(N);
+  std::iota(Leader.begin(), Leader.end(), 0);
+  auto Find = [&](City X) {
+    while (Leader[X] != X) {
+      Leader[X] = Leader[Leader[X]];
+      X = Leader[X];
+    }
+    return X;
+  };
+
+  size_t Accepted = 0;
+  for (const Arc &A : Arcs) {
+    if (Accepted == N - 1)
+      break;
+    if (Succ[A.From] != InvalidCity || Pred[A.To] != InvalidCity)
+      continue;
+    if (Find(A.From) == Find(A.To))
+      continue;
+    Succ[A.From] = A.To;
+    Pred[A.To] = A.From;
+    Leader[Find(A.From)] = Find(A.To);
+    ++Accepted;
+  }
+
+  // Stitch remaining fragments: follow each path from its head; append
+  // heads in index order (the arcs connecting fragments are whatever the
+  // costs dictate once local search runs).
+  std::vector<City> Tour;
+  Tour.reserve(N);
+  for (City Head = 0; Head != N; ++Head) {
+    if (Pred[Head] != InvalidCity)
+      continue;
+    for (City Walk = Head; Walk != InvalidCity; Walk = Succ[Walk])
+      Tour.push_back(Walk);
+  }
+  assert(isValidTour(Tour, N) && "greedy construction broke the tour");
+  return Tour;
+}
+
+std::vector<City> balign::canonicalTour(size_t N) {
+  std::vector<City> Tour(N);
+  std::iota(Tour.begin(), Tour.end(), 0);
+  return Tour;
+}

@@ -1,0 +1,87 @@
+//===- tsp/Exact.cpp ------------------------------------------------------------===//
+
+#include "tsp/Exact.h"
+
+#include <cassert>
+#include <limits>
+#include <vector>
+
+using namespace balign;
+
+int64_t balign::solveExactDirected(const DirectedTsp &Dtsp,
+                                   std::vector<City> *Tour) {
+  size_t N = Dtsp.numCities();
+  assert(N >= 1 && N <= MaxExactCities && "instance size out of range");
+  if (N == 1) {
+    if (Tour)
+      *Tour = {0};
+    return 0;
+  }
+
+  // dp[Mask][J]: cheapest path from city 0 visiting exactly the cities of
+  // Mask (over cities 1..N-1) and ending at city J (1-based index J+1).
+  size_t M = N - 1;
+  size_t NumMasks = static_cast<size_t>(1) << M;
+  const int64_t Inf = std::numeric_limits<int64_t>::max() / 4;
+  std::vector<int64_t> Dp(NumMasks * M, Inf);
+  std::vector<uint8_t> Parent(NumMasks * M, 0xff);
+
+  for (size_t J = 0; J != M; ++J)
+    Dp[(static_cast<size_t>(1) << J) * M + J] =
+        Dtsp.cost(0, static_cast<City>(J + 1));
+
+  for (size_t Mask = 1; Mask != NumMasks; ++Mask) {
+    for (size_t J = 0; J != M; ++J) {
+      if (!(Mask & (static_cast<size_t>(1) << J)))
+        continue;
+      int64_t Here = Dp[Mask * M + J];
+      if (Here >= Inf)
+        continue;
+      for (size_t K = 0; K != M; ++K) {
+        if (Mask & (static_cast<size_t>(1) << K))
+          continue;
+        size_t NextMask = Mask | (static_cast<size_t>(1) << K);
+        int64_t Candidate =
+            Here + Dtsp.cost(static_cast<City>(J + 1),
+                             static_cast<City>(K + 1));
+        if (Candidate < Dp[NextMask * M + K]) {
+          Dp[NextMask * M + K] = Candidate;
+          Parent[NextMask * M + K] = static_cast<uint8_t>(J);
+        }
+      }
+    }
+  }
+
+  size_t FullMask = NumMasks - 1;
+  int64_t Best = Inf;
+  size_t BestEnd = 0;
+  for (size_t J = 0; J != M; ++J) {
+    int64_t Candidate =
+        Dp[FullMask * M + J] + Dtsp.cost(static_cast<City>(J + 1), 0);
+    if (Candidate < Best) {
+      Best = Candidate;
+      BestEnd = J;
+    }
+  }
+  assert(Best < Inf && "complete instance must have a tour");
+
+  if (Tour) {
+    std::vector<City> Reversed;
+    size_t Mask = FullMask;
+    size_t End = BestEnd;
+    while (Mask != 0) {
+      Reversed.push_back(static_cast<City>(End + 1));
+      uint8_t Prev = Parent[Mask * M + End];
+      Mask &= ~(static_cast<size_t>(1) << End);
+      if (Prev == 0xff)
+        break;
+      End = Prev;
+    }
+    Tour->clear();
+    Tour->push_back(0);
+    for (size_t I = Reversed.size(); I != 0; --I)
+      Tour->push_back(Reversed[I - 1]);
+    assert(isValidTour(*Tour, N) && "reconstructed tour invalid");
+  }
+  return Best;
+}

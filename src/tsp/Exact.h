@@ -1,0 +1,34 @@
+//===- tsp/Exact.h - Exact directed-TSP oracle --------------------------------===//
+//
+// Part of the balign project (PLDI 1997 branch-alignment reproduction).
+//
+//===--------------------------------------------------------------------===//
+///
+/// \file
+/// Exact Held-Karp dynamic programming over subsets for small directed
+/// instances. This is the test oracle that lets us verify, on every small
+/// procedure, that iterated 3-Opt actually reaches the optimum and that
+/// the Held-Karp Lagrangian bound never exceeds it.
+///
+//===--------------------------------------------------------------------===//
+
+#ifndef BALIGN_TSP_EXACT_H
+#define BALIGN_TSP_EXACT_H
+
+#include "tsp/Instance.h"
+
+namespace balign {
+
+/// Maximum instance size solveExactDirected accepts (memory: 2^(N-1) * N
+/// 64-bit entries).
+inline constexpr size_t MaxExactCities = 18;
+
+/// Solves \p Dtsp exactly; returns the optimal directed tour cost and, if
+/// \p Tour is non-null, stores an optimal tour starting at city 0.
+/// Requires 1 <= numCities() <= MaxExactCities.
+int64_t solveExactDirected(const DirectedTsp &Dtsp,
+                           std::vector<City> *Tour = nullptr);
+
+} // namespace balign
+
+#endif // BALIGN_TSP_EXACT_H

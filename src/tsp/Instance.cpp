@@ -1,0 +1,51 @@
+//===- tsp/Instance.cpp ----------------------------------------------------===//
+
+#include "tsp/Instance.h"
+
+using namespace balign;
+
+int64_t DirectedTsp::tourCost(const std::vector<City> &Tour) const {
+  assert(Tour.size() == N && "tour must visit every city");
+  int64_t Sum = 0;
+  for (size_t I = 0; I != Tour.size(); ++I)
+    Sum += cost(Tour[I], Tour[(I + 1) % Tour.size()]);
+  return Sum;
+}
+
+int64_t DirectedTsp::walkCost(const std::vector<City> &Walk) const {
+  int64_t Sum = 0;
+  for (size_t I = 0; I + 1 < Walk.size(); ++I)
+    Sum += cost(Walk[I], Walk[I + 1]);
+  return Sum;
+}
+
+int64_t DirectedTsp::totalAbsCost() const {
+  int64_t Sum = 0;
+  for (City From = 0; From != N; ++From)
+    for (City To = 0; To != N; ++To)
+      if (From != To) {
+        int64_t C = cost(From, To);
+        Sum += C < 0 ? -C : C;
+      }
+  return Sum;
+}
+
+int64_t SymmetricTsp::tourCost(const std::vector<City> &Tour) const {
+  assert(Tour.size() == N && "tour must visit every city");
+  int64_t Sum = 0;
+  for (size_t I = 0; I != Tour.size(); ++I)
+    Sum += dist(Tour[I], Tour[(I + 1) % Tour.size()]);
+  return Sum;
+}
+
+bool balign::isValidTour(const std::vector<City> &Tour, size_t N) {
+  if (Tour.size() != N)
+    return false;
+  std::vector<bool> Seen(N, false);
+  for (City C : Tour) {
+    if (C >= N || Seen[C])
+      return false;
+    Seen[C] = true;
+  }
+  return true;
+}

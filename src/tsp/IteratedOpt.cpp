@@ -1,0 +1,170 @@
+//===- tsp/IteratedOpt.cpp ---------------------------------------------------===//
+
+#include "tsp/IteratedOpt.h"
+
+#include "tsp/Construct.h"
+#include "tsp/LocalSearch.h"
+#include "tsp/Transform.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace balign;
+
+void balign::doubleBridge(std::vector<City> &Tour, Rng &Rng,
+                          std::vector<City> *Touched) {
+  size_t N = Tour.size();
+  if (N < 4)
+    return;
+  // Three distinct interior cut points 0 < P1 < P2 < P3 < N.
+  size_t Cuts[3];
+  Cuts[0] = 1 + Rng.nextIndex(N - 3);
+  Cuts[1] = 1 + Rng.nextIndex(N - 3);
+  Cuts[2] = 1 + Rng.nextIndex(N - 3);
+  std::sort(std::begin(Cuts), std::end(Cuts));
+  size_t P1 = Cuts[0], P2 = Cuts[1] + 1, P3 = Cuts[2] + 2;
+  assert(P1 < P2 && P2 < P3 && P3 < N && "bad double-bridge cuts");
+
+  std::vector<City> Kicked;
+  Kicked.reserve(N);
+  Kicked.insert(Kicked.end(), Tour.begin(), Tour.begin() + P1);
+  Kicked.insert(Kicked.end(), Tour.begin() + P2, Tour.begin() + P3);
+  Kicked.insert(Kicked.end(), Tour.begin() + P1, Tour.begin() + P2);
+  Kicked.insert(Kicked.end(), Tour.begin() + P3, Tour.end());
+  if (Touched) {
+    Touched->clear();
+    for (size_t Pos : {size_t(0), P1 - 1, P1, P2 - 1, P2, P3 - 1, P3, N - 1})
+      Touched->push_back(Kicked[std::min(Pos, N - 1)]);
+  }
+  Tour = std::move(Kicked);
+}
+
+namespace {
+
+/// Shared state for one solver invocation.
+struct Solver {
+  const DirectedTsp &Dtsp;
+  const IteratedOptOptions &Options;
+  SymmetricTransform Transform;
+  NeighborLists Neighbors;
+
+  Solver(const DirectedTsp &Dtsp, const IteratedOptOptions &Options)
+      : Dtsp(Dtsp), Options(Options),
+        Transform(transformToSymmetric(Dtsp)),
+        Neighbors(Transform.Sym, Options.NeighborListSize) {}
+
+  /// Local-search the directed tour via the symmetric space; returns the
+  /// directed cost of the improved tour. When \p TouchedDirected is
+  /// non-null, only those cities (both their in and out twins) seed the
+  /// search — the iterated-local-search restart trick after a kick.
+  int64_t optimize(std::vector<City> &Directed,
+                   const std::vector<City> *TouchedDirected = nullptr) {
+    std::vector<City> Sym = Transform.toSymmetricTour(Directed);
+    if (TouchedDirected) {
+      std::vector<City> Seeds;
+      Seeds.reserve(2 * TouchedDirected->size());
+      for (City C : *TouchedDirected) {
+        Seeds.push_back(C);
+        Seeds.push_back(C + static_cast<City>(Transform.DirectedN));
+      }
+      localSearchSymmetric(Transform.Sym, Neighbors, Sym, &Seeds);
+    } else {
+      localSearchSymmetric(Transform.Sym, Neighbors, Sym);
+    }
+    Directed = Transform.toDirectedTour(Sym);
+    return Dtsp.tourCost(Directed);
+  }
+
+  /// One iterated-3-Opt run from the given start tour.
+  std::pair<std::vector<City>, int64_t> run(std::vector<City> Start,
+                                            Rng &Rng) {
+    std::vector<City> Best = std::move(Start);
+    int64_t BestCost = optimize(Best);
+    size_t Iterations = std::min<size_t>(
+        Options.MaxIterationsPerRun,
+        std::max<size_t>(Options.MinIterationsPerRun,
+                         static_cast<size_t>(
+                             Options.IterationsFactor *
+                             static_cast<double>(Dtsp.numCities()))));
+    std::vector<City> Touched;
+    for (size_t Iter = 0; Iter != Iterations; ++Iter) {
+      std::vector<City> Candidate = Best;
+      doubleBridge(Candidate, Rng, &Touched);
+      int64_t Cost = optimize(Candidate, Touched.empty() ? nullptr
+                                                         : &Touched);
+      if (Cost < BestCost) {
+        Best = std::move(Candidate);
+        BestCost = Cost;
+      }
+    }
+    return {std::move(Best), BestCost};
+  }
+};
+
+} // namespace
+
+DtspSolution balign::solveDirectedTsp(const DirectedTsp &Dtsp,
+                                      const IteratedOptOptions &Options) {
+  size_t N = Dtsp.numCities();
+  assert(N >= 1 && "empty instance");
+  DtspSolution Solution;
+  if (N <= 3) {
+    // All cyclic orders of <= 3 cities are equivalent up to rotation for
+    // a directed cycle only when N <= 2; for N == 3 compare both orders.
+    std::vector<City> Tour = canonicalTour(N);
+    int64_t Cost = Dtsp.tourCost(Tour);
+    if (N == 3) {
+      std::vector<City> Alt = {0, 2, 1};
+      int64_t AltCost = Dtsp.tourCost(Alt);
+      if (AltCost < Cost) {
+        Tour = Alt;
+        Cost = AltCost;
+      }
+    }
+    Solution.Tour = std::move(Tour);
+    Solution.Cost = Cost;
+    Solution.NumRuns = 1;
+    Solution.RunsFindingBest = 1;
+    return Solution;
+  }
+
+  Rng Root(Options.Seed);
+  Solver S(Dtsp, Options);
+
+  std::vector<int64_t> RunCosts;
+  int64_t BestCost = 0;
+  std::vector<City> BestTour;
+
+  auto doRun = [&](std::vector<City> Start) {
+    Rng RunRng = Root.fork();
+    auto [Tour, Cost] = S.run(std::move(Start), RunRng);
+    RunCosts.push_back(Cost);
+    if (BestTour.empty() || Cost < BestCost) {
+      BestTour = std::move(Tour);
+      BestCost = Cost;
+    }
+  };
+
+  // The canonical (compiler-order) start runs first so that on
+  // all-ties instances — e.g. procedures whose profile is almost empty —
+  // the original order wins and the layout stays put.
+  if (Options.CanonicalStart)
+    doRun(canonicalTour(N));
+  for (unsigned I = 0; I != Options.GreedyStarts; ++I) {
+    Rng ConstructRng = Root.fork();
+    doRun(greedyEdgeTour(Dtsp, ConstructRng));
+  }
+  for (unsigned I = 0; I != Options.NearestNeighborStarts; ++I) {
+    Rng ConstructRng = Root.fork();
+    doRun(nearestNeighborTour(Dtsp, ConstructRng));
+  }
+
+  assert(!RunCosts.empty() && "solver performed no runs");
+  Solution.Tour = std::move(BestTour);
+  Solution.Cost = BestCost;
+  Solution.NumRuns = static_cast<unsigned>(RunCosts.size());
+  for (int64_t Cost : RunCosts)
+    if (Cost == BestCost)
+      ++Solution.RunsFindingBest;
+  return Solution;
+}

@@ -1,0 +1,255 @@
+//===- tsp/LocalSearch.cpp --------------------------------------------------===//
+
+#include "tsp/LocalSearch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+using namespace balign;
+
+NeighborLists::NeighborLists(const SymmetricTsp &Sym, unsigned K) {
+  size_t N = Sym.numCities();
+  Lists.resize(N);
+  size_t Keep = std::min<size_t>(K, N > 0 ? N - 1 : 0);
+  std::vector<City> All(N);
+  std::iota(All.begin(), All.end(), 0);
+  for (City C = 0; C != N; ++C) {
+    std::vector<City> Others;
+    Others.reserve(N - 1);
+    for (City O : All)
+      if (O != C)
+        Others.push_back(O);
+    std::partial_sort(Others.begin(), Others.begin() + Keep, Others.end(),
+                      [&](City A, City B) {
+                        int64_t DA = Sym.dist(C, A);
+                        int64_t DB = Sym.dist(C, B);
+                        return DA != DB ? DA < DB : A < B;
+                      });
+    Others.resize(Keep);
+    Lists[C] = std::move(Others);
+  }
+}
+
+namespace {
+
+/// Array-based tour with position index and don't-look bits.
+class TourState {
+public:
+  TourState(const SymmetricTsp &Sym, const NeighborLists &Neighbors,
+            std::vector<City> &Tour, const std::vector<City> *Seeds)
+      : Sym(Sym), Neighbors(Neighbors), Order(Tour), Pos(Tour.size()) {
+    for (size_t P = 0; P != Order.size(); ++P)
+      Pos[Order[P]] = static_cast<uint32_t>(P);
+    Queue.reserve(Order.size());
+    if (Seeds) {
+      for (City C : *Seeds)
+        pushActive(C);
+    } else {
+      for (City C = 0; C != Order.size(); ++C)
+        pushActive(C);
+    }
+  }
+
+  /// Runs to exhaustion; Order holds the local optimum afterwards.
+  void run() {
+    while (!Queue.empty()) {
+      City C = Queue.back();
+      Queue.pop_back();
+      InQueue[C] = false;
+      // Retry the same city until it yields nothing; each success may
+      // enable further moves around it.
+      while (improveCity(C)) {
+      }
+    }
+  }
+
+private:
+  const SymmetricTsp &Sym;
+  const NeighborLists &Neighbors;
+  std::vector<City> &Order;
+  std::vector<uint32_t> Pos;
+  std::vector<City> Queue;
+  std::vector<bool> InQueue = std::vector<bool>(Order.size(), false);
+
+  size_t size() const { return Order.size(); }
+
+  City succ(City C) const { return Order[(Pos[C] + 1) % size()]; }
+  City pred(City C) const { return Order[(Pos[C] + size() - 1) % size()]; }
+
+  void pushActive(City C) {
+    if (InQueue[C])
+      return;
+    InQueue[C] = true;
+    Queue.push_back(C);
+  }
+
+  /// Reverses the tour segment running forward from city B to city C
+  /// (inclusive); reverses whichever representation side is contiguous.
+  void reverseSegment(City B, City C) {
+    uint32_t I = Pos[B], J = Pos[C];
+    size_t SegLen = (J + size() - I) % size() + 1;
+    if (SegLen * 2 > size()) {
+      // Reversing the complement yields the same cyclic tour.
+      std::swap(I, J);
+      I = (I + 1) % size();
+      J = (J + size() - 1) % size();
+    }
+    // Reverse positions I..J walking inward cyclically.
+    size_t Len = (J + size() - I) % size() + 1;
+    for (size_t S = 0; S < Len / 2; ++S) {
+      uint32_t A = (I + S) % size();
+      uint32_t Z = (J + size() - S) % size();
+      std::swap(Order[A], Order[Z]);
+      Pos[Order[A]] = A;
+      Pos[Order[Z]] = Z;
+    }
+  }
+
+  bool improveCity(City A) {
+    if (tryTwoOpt(A, /*Forward=*/true) || tryTwoOpt(A, /*Forward=*/false))
+      return true;
+    unsigned MaxSegment = std::min<unsigned>(MaxOrOptSegment,
+                                             static_cast<unsigned>(size() / 2));
+    for (unsigned L = 1; L <= MaxSegment; ++L)
+      if (tryOrOpt(A, L))
+        return true;
+    return false;
+  }
+
+  /// Longest segment Or-opt relocates. Length-1..3 moves are the classic
+  /// Or-opt; longer lengths realize the remaining 3-opt segment
+  /// relocations, which matter here because chains of locked city pairs
+  /// (= runs of basic blocks) want to move as units.
+  static constexpr unsigned MaxOrOptSegment = 12;
+
+  /// 2-opt: removes (A, B) where B = succ(A) (or pred for the backward
+  /// direction) and (C, D); adds (A, C) and (B, D).
+  bool tryTwoOpt(City A, bool Forward) {
+    City B = Forward ? succ(A) : pred(A);
+    int64_t DistAB = Sym.dist(A, B);
+    for (City C : Neighbors.neighbors(A)) {
+      int64_t DistAC = Sym.dist(A, C);
+      if (DistAC >= DistAB)
+        break; // Sorted list: no closer candidate remains.
+      if (C == B)
+        continue;
+      City D = Forward ? succ(C) : pred(C);
+      if (D == A)
+        continue;
+      int64_t Delta = DistAC + Sym.dist(B, D) - DistAB - Sym.dist(C, D);
+      if (Delta >= 0)
+        continue;
+      // In forward orientation the reversed run is B..C; in backward
+      // orientation the tour reads ...B A...D C... and reversing the
+      // forward run A..D realizes the same reconnection.
+      if (Forward)
+        reverseSegment(B, C);
+      else
+        reverseSegment(A, D);
+      pushActive(A);
+      pushActive(B);
+      pushActive(C);
+      pushActive(D);
+      return true;
+    }
+    return false;
+  }
+
+  /// Or-opt: moves the length-L segment starting at A to sit after some
+  /// candidate city C elsewhere in the tour, in either orientation.
+  bool tryOrOpt(City A, unsigned L) {
+    if (size() < L + 3)
+      return false;
+    // Segment A = S0 .. SLast, with P before it and N after it.
+    City Seg[MaxOrOptSegment];
+    Seg[0] = A;
+    for (unsigned I = 1; I < L; ++I)
+      Seg[I] = succ(Seg[I - 1]);
+    City SLast = Seg[L - 1];
+    City P = pred(A);
+    City Next = succ(SLast);
+    if (Next == P)
+      return false; // Segment plus endpoints is the whole tour.
+    int64_t RemoveGain =
+        Sym.dist(P, A) + Sym.dist(SLast, Next) - Sym.dist(P, Next);
+
+    auto InSegment = [&](City X) {
+      for (unsigned I = 0; I != L; ++I)
+        if (Seg[I] == X)
+          return true;
+      return false;
+    };
+
+    // Candidate insertion points: after C, where C is near either
+    // endpoint of the segment.
+    for (unsigned EndIdx = 0; EndIdx != 2; ++EndIdx) {
+      City Endpoint = EndIdx == 0 ? A : SLast;
+      if (EndIdx == 1 && L == 1)
+        break; // Same endpoint twice.
+      for (City C : Neighbors.neighbors(Endpoint)) {
+        if (InSegment(C) || C == P)
+          continue;
+        City D = succ(C);
+        if (InSegment(D))
+          continue;
+        int64_t Base = Sym.dist(C, D);
+        // Forward: C -> S0 ... SLast -> D. Reversed: C -> SLast ... S0 -> D.
+        int64_t AddForward = Sym.dist(C, A) + Sym.dist(SLast, D);
+        int64_t AddReversed = Sym.dist(C, SLast) + Sym.dist(A, D);
+        bool Reversed = AddReversed < AddForward;
+        int64_t Add = Reversed ? AddReversed : AddForward;
+        int64_t Delta = Add - Base - RemoveGain;
+        if (Delta >= 0)
+          continue;
+        applyOrOpt(Seg, L, C, Reversed);
+        pushActive(A);
+        pushActive(SLast);
+        pushActive(P);
+        pushActive(Next);
+        pushActive(C);
+        pushActive(D);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Rebuilds the order with segment \p Seg (length \p L) removed and
+  /// reinserted directly after city \p C.
+  void applyOrOpt(const City *Seg, unsigned L, City C, bool Reversed) {
+    std::vector<City> NewOrder;
+    NewOrder.reserve(size());
+    std::vector<bool> InSeg(size(), false);
+    for (unsigned I = 0; I != L; ++I)
+      InSeg[Seg[I]] = true;
+    for (City X : Order) {
+      if (InSeg[X])
+        continue;
+      NewOrder.push_back(X);
+      if (X == C) {
+        for (unsigned I = 0; I != L; ++I)
+          NewOrder.push_back(Reversed ? Seg[L - 1 - I] : Seg[I]);
+      }
+    }
+    assert(NewOrder.size() == size() && "or-opt lost a city");
+    Order = std::move(NewOrder);
+    for (size_t Position = 0; Position != Order.size(); ++Position)
+      Pos[Order[Position]] = static_cast<uint32_t>(Position);
+  }
+};
+
+} // namespace
+
+int64_t balign::localSearchSymmetric(const SymmetricTsp &Sym,
+                                     const NeighborLists &Neighbors,
+                                     std::vector<City> &Tour,
+                                     const std::vector<City> *Seeds) {
+  assert(isValidTour(Tour, Sym.numCities()) && "invalid input tour");
+  if (Tour.size() >= 5) {
+    TourState State(Sym, Neighbors, Tour, Seeds);
+    State.run();
+  }
+  assert(isValidTour(Tour, Sym.numCities()) && "local search broke the tour");
+  return Sym.tourCost(Tour);
+}

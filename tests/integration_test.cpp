@@ -1,0 +1,149 @@
+//===- tests/integration_test.cpp - Whole-pipeline integration tests ----------===//
+
+#include "align/Penalty.h"
+#include "align/Pipeline.h"
+#include "sim/Simulator.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace balign;
+
+namespace {
+
+/// A reduced-budget copy of a suite benchmark so integration tests run in
+/// seconds.
+WorkloadInstance smallWorkload(const std::string &Name,
+                               uint64_t BudgetCap = 4000) {
+  for (WorkloadSpec Spec : benchmarkSuite()) {
+    if (Spec.Benchmark != Name)
+      continue;
+    for (DataSetSpec &Ds : Spec.DataSets)
+      Ds.BranchBudget = std::min(Ds.BranchBudget, BudgetCap);
+    return buildWorkload(Spec);
+  }
+  ADD_FAILURE() << "unknown benchmark " << Name;
+  return WorkloadInstance();
+}
+
+} // namespace
+
+TEST(PipelineTest, OrderingInvariantHoldsOnCom) {
+  WorkloadInstance W = smallWorkload("com");
+  AlignmentOptions Options;
+  ProgramAlignment Result =
+      alignProgram(W.Prog, W.DataSets[0].Profile, Options);
+  ASSERT_EQ(Result.Procs.size(), W.Prog.numProcedures());
+
+  for (size_t P = 0; P != Result.Procs.size(); ++P) {
+    const ProcedureAlignment &PA = Result.Procs[P];
+    EXPECT_TRUE(PA.GreedyLayout.isValid(W.Prog.proc(P)));
+    EXPECT_TRUE(PA.TspLayout.isValid(W.Prog.proc(P)));
+    // TSP <= greedy <= original may fail per-procedure for greedy (it is
+    // a heuristic) but the bound ordering must always hold:
+    EXPECT_LE(PA.Bounds.HeldKarp,
+              static_cast<double>(PA.TspPenalty) + 1e-6);
+    EXPECT_LE(PA.Bounds.Assignment,
+              static_cast<int64_t>(PA.TspPenalty));
+    EXPECT_LE(PA.TspPenalty, PA.OriginalPenalty);
+  }
+  // Aggregate ordering (the Figure 2 skeleton).
+  EXPECT_LE(Result.totalHeldKarpBound(),
+            static_cast<double>(Result.totalTspPenalty()) + 1e-6);
+  EXPECT_LE(Result.totalTspPenalty(), Result.totalGreedyPenalty());
+  EXPECT_LE(Result.totalGreedyPenalty(), Result.totalOriginalPenalty());
+  EXPECT_GT(Result.totalOriginalPenalty(), 0u);
+}
+
+TEST(PipelineTest, SignificantPenaltyReductionOnUnfriendlyCode) {
+  // dod models branch-unfriendly source layout; alignment must remove a
+  // large share of penalties (the paper removes ~2/3 on doduc).
+  WorkloadInstance W = smallWorkload("dod");
+  AlignmentOptions Options;
+  Options.ComputeBounds = false;
+  ProgramAlignment Result =
+      alignProgram(W.Prog, W.DataSets[0].Profile, Options);
+  double Ratio = static_cast<double>(Result.totalTspPenalty()) /
+                 static_cast<double>(Result.totalOriginalPenalty());
+  EXPECT_LT(Ratio, 0.7);
+}
+
+TEST(PipelineTest, CrossValidationDilutesButPreservesBenefit) {
+  WorkloadInstance W = smallWorkload("dod", /*BudgetCap=*/8000);
+  const ProgramProfile &Train = W.DataSets[0].Profile;
+  const ProgramProfile &Test = W.DataSets[1].Profile;
+  AlignmentOptions Options;
+  Options.ComputeBounds = false;
+  ProgramAlignment Result = alignProgram(W.Prog, Train, Options);
+
+  std::vector<Layout> Tsp = Result.tspLayouts();
+  std::vector<Layout> Original = Result.originalLayouts();
+
+  uint64_t SelfTsp =
+      evaluateProgramPenalty(W.Prog, Tsp, Options.Model, Train, Train);
+  uint64_t SelfOrig =
+      evaluateProgramPenalty(W.Prog, Original, Options.Model, Train, Train);
+  uint64_t CrossTsp =
+      evaluateProgramPenalty(W.Prog, Tsp, Options.Model, Train, Test);
+  uint64_t CrossOrig =
+      evaluateProgramPenalty(W.Prog, Original, Options.Model, Train, Test);
+
+  double SelfRatio =
+      static_cast<double>(SelfTsp) / static_cast<double>(SelfOrig);
+  double CrossRatio =
+      static_cast<double>(CrossTsp) / static_cast<double>(CrossOrig);
+  // Cross-validated benefit is diluted but most of it remains.
+  EXPECT_GT(CrossRatio, SelfRatio - 0.05);
+  EXPECT_LT(CrossRatio, (1.0 + SelfRatio) / 2.0)
+      << "the bulk of the benefit should remain";
+}
+
+TEST(PipelineTest, StageTimesAccumulated) {
+  WorkloadInstance W = smallWorkload("com", 1000);
+  AlignmentOptions Options;
+  ProgramAlignment Result =
+      alignProgram(W.Prog, W.DataSets[0].Profile, Options);
+  EXPECT_GE(Result.SolverSeconds, 0.0);
+  EXPECT_GE(Result.GreedySeconds, 0.0);
+  EXPECT_GE(Result.MatrixSeconds, 0.0);
+  EXPECT_GE(Result.BoundsSeconds, 0.0);
+  EXPECT_GT(Result.SolverSeconds + Result.MatrixSeconds, 0.0);
+}
+
+TEST(IntegrationTest, SimulatedTimesFollowPenaltyOrdering) {
+  WorkloadInstance W = smallWorkload("dod", 3000);
+  const WorkloadDataSet &Ds = W.DataSets[0];
+  AlignmentOptions Options;
+  Options.ComputeBounds = false;
+  ProgramAlignment Result = alignProgram(W.Prog, Ds.Profile, Options);
+
+  auto simulate = [&](const std::vector<Layout> &Layouts) {
+    std::vector<MaterializedLayout> Mats;
+    for (size_t P = 0; P != W.Prog.numProcedures(); ++P)
+      Mats.push_back(materializeLayout(W.Prog.proc(P), Layouts[P],
+                                       Ds.Profile.Procs[P], Options.Model));
+    SimConfig Config;
+    return simulateProgram(W.Prog, Mats, Ds.Traces, Config);
+  };
+
+  SimResult Orig = simulate(Result.originalLayouts());
+  SimResult Tsp = simulate(Result.tspLayouts());
+  EXPECT_LT(Tsp.ControlPenaltyCycles, Orig.ControlPenaltyCycles);
+  EXPECT_LT(Tsp.Cycles, Orig.Cycles);
+  // Simulated penalties equal evaluator penalties (whole-program scale).
+  EXPECT_EQ(Orig.ControlPenaltyCycles, Result.totalOriginalPenalty());
+  EXPECT_EQ(Tsp.ControlPenaltyCycles, Result.totalTspPenalty());
+}
+
+TEST(IntegrationTest, RunsFindingBestStatisticsPopulated) {
+  WorkloadInstance W = smallWorkload("com", 2000);
+  AlignmentOptions Options;
+  Options.ComputeBounds = false;
+  ProgramAlignment Result =
+      alignProgram(W.Prog, W.DataSets[1].Profile, Options);
+  for (const ProcedureAlignment &PA : Result.Procs) {
+    EXPECT_GE(PA.SolverRuns, 1u);
+    EXPECT_GE(PA.RunsFindingBest, 1u);
+    EXPECT_LE(PA.RunsFindingBest, PA.SolverRuns);
+  }
+}

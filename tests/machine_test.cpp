@@ -1,0 +1,40 @@
+//===- tests/machine_test.cpp - Machine-model tests ----------------------------===//
+
+#include "machine/MachineModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace balign;
+
+TEST(MachineModelTest, Alpha21164MatchesTable3) {
+  MachineModel M = MachineModel::alpha21164();
+  EXPECT_EQ(M.Name, "alpha21164");
+  // Table 3: no branch / fall through to common successor: 0 cycles.
+  EXPECT_EQ(M.CondFallThrough, 0u);
+  // Conditional branch to common following block: 1 cycle (misfetch).
+  EXPECT_EQ(M.CondTakenCorrect, 1u);
+  // Conditional mispredict, any layout: 5 cycles.
+  EXPECT_EQ(M.CondMispredict, 5u);
+  // Unconditional branch: 2 cycles.
+  EXPECT_EQ(M.UncondBranch, 2u);
+  // Register branch to predicted target: 1; to any other successor: 3.
+  EXPECT_EQ(M.MultiwayPredicted, 1u);
+  EXPECT_EQ(M.MultiwayMispredict, 3u);
+}
+
+TEST(MachineModelTest, DeepPipelineAmplifiesPenalties) {
+  MachineModel Deep = MachineModel::deepPipeline();
+  MachineModel Alpha = MachineModel::alpha21164();
+  EXPECT_GT(Deep.CondMispredict, Alpha.CondMispredict);
+  EXPECT_GT(Deep.CondTakenCorrect, Alpha.CondTakenCorrect);
+  EXPECT_GT(Deep.UncondBranch, Alpha.UncondBranch);
+  EXPECT_GT(Deep.MultiwayMispredict, Alpha.MultiwayMispredict);
+}
+
+TEST(MachineModelTest, CheapBranchOnlyChargesMispredicts) {
+  MachineModel Cheap = MachineModel::cheapBranch();
+  EXPECT_EQ(Cheap.CondTakenCorrect, 0u);
+  EXPECT_EQ(Cheap.UncondBranch, 0u);
+  EXPECT_EQ(Cheap.MultiwayPredicted, 0u);
+  EXPECT_GT(Cheap.CondMispredict, 0u);
+}

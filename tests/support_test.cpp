@@ -1,0 +1,136 @@
+//===- tests/support_test.cpp - Support library tests ----------------------===//
+
+#include "support/Format.h"
+#include "support/Random.h"
+#include "support/Statistics.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace balign;
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I != 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 2);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng R(7);
+  for (uint64_t Bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int I = 0; I != 200; ++I)
+      EXPECT_LT(R.nextBelow(Bound), Bound);
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllResidues) {
+  Rng R(9);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I != 1000; ++I)
+    Seen.insert(R.nextBelow(7));
+  EXPECT_EQ(Seen.size(), 7u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng R(11);
+  for (int I = 0; I != 1000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng R(13);
+  std::vector<int> V{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> Sorted = V;
+  R.shuffle(V);
+  std::vector<int> Resorted = V;
+  std::sort(Resorted.begin(), Resorted.end());
+  EXPECT_EQ(Resorted, Sorted);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng A(5);
+  Rng Child = A.fork();
+  // The child stream should not replay the parent's upcoming values.
+  int Same = 0;
+  for (int I = 0; I != 64; ++I)
+    Same += A.next() == Child.next();
+  EXPECT_LT(Same, 2);
+}
+
+TEST(StatisticsTest, MeanAndMedian) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 2, 3}), 2.5);
+}
+
+TEST(StatisticsTest, Geomean) {
+  EXPECT_DOUBLE_EQ(geomean({4, 1}), 2.0);
+  EXPECT_NEAR(geomean({2, 8, 4}), 4.0, 1e-12);
+}
+
+TEST(StatisticsTest, Stddev) {
+  EXPECT_DOUBLE_EQ(stddev({5}), 0.0);
+  EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0, 1e-12);
+}
+
+TEST(StatisticsTest, Percentile) {
+  std::vector<double> V{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(V, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(V, 100), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(V, 50), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(V, 25), 20.0);
+}
+
+TEST(FormatTest, Counts) {
+  EXPECT_EQ(formatCount(999), "999");
+  EXPECT_EQ(formatCount(13400), "13.4K");
+  EXPECT_EQ(formatCount(11800000), "11.8M");
+  EXPECT_EQ(formatCount(100000), "100.0K");
+}
+
+TEST(FormatTest, PercentAndFixed) {
+  EXPECT_EQ(formatPercent(0.3312), "33.12%");
+  EXPECT_EQ(formatPercent(0.0201, 2), "2.01%");
+  EXPECT_EQ(formatFixed(1.005, 2), "1.00");
+  EXPECT_EQ(formatNormalized(0.6699), "0.670");
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  TextTable T;
+  T.addColumn("name");
+  T.addColumn("value", TextTable::AlignKind::Right);
+  T.addRow({"alpha", "1"});
+  T.addRow({"b", "12345"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("name  | value"), std::string::npos);
+  EXPECT_NE(Out.find("alpha |     1"), std::string::npos);
+  EXPECT_NE(Out.find("b     | 12345"), std::string::npos);
+}
+
+TEST(TableTest, SeparatorRows) {
+  TextTable T;
+  T.addColumn("x");
+  T.addRow({"1"});
+  T.addSeparator();
+  T.addRow({"2"});
+  std::string Out = T.render();
+  // Header separator plus the explicit one.
+  size_t First = Out.find("-\n");
+  ASSERT_NE(First, std::string::npos);
+  EXPECT_NE(Out.find("-\n", First + 1), std::string::npos);
+}

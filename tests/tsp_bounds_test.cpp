@@ -1,0 +1,219 @@
+//===- tests/tsp_bounds_test.cpp - Held-Karp and AP bound tests --------------===//
+
+#include "support/Random.h"
+#include "tsp/Assignment.h"
+#include "tsp/Exact.h"
+#include "tsp/HeldKarp.h"
+#include "tsp/Instance.h"
+#include "tsp/IteratedOpt.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <climits>
+
+using namespace balign;
+
+namespace {
+
+DirectedTsp randomInstance(size_t N, uint64_t Seed, int64_t MaxCost = 100) {
+  Rng R(Seed);
+  DirectedTsp Dtsp(N);
+  for (City I = 0; I != N; ++I)
+    for (City J = 0; J != N; ++J)
+      if (I != J)
+        Dtsp.setCost(I, J, static_cast<int64_t>(R.nextBelow(MaxCost + 1)));
+  return Dtsp;
+}
+
+/// Random symmetric-consistent directed instance (c(i,j) == c(j,i)).
+DirectedTsp randomSymmetricInstance(size_t N, uint64_t Seed,
+                                    int64_t MaxCost = 100) {
+  Rng R(Seed);
+  DirectedTsp Dtsp(N);
+  for (City I = 0; I != N; ++I)
+    for (City J = I + 1; J != N; ++J) {
+      int64_t C = static_cast<int64_t>(R.nextBelow(MaxCost + 1));
+      Dtsp.setCost(I, J, C);
+      Dtsp.setCost(J, I, C);
+    }
+  return Dtsp;
+}
+
+} // namespace
+
+/// Property sweep: the Held-Karp bound never exceeds the exact optimum
+/// and is reasonably tight on small random instances.
+class HeldKarpValidity : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HeldKarpValidity, NeverExceedsOptimum) {
+  uint64_t Seed = GetParam();
+  size_t N = 4 + Seed % 8; // 4..11 cities.
+  DirectedTsp D = randomInstance(N, Seed * 17 + 5);
+  int64_t Optimal = solveExactDirected(D);
+  double Bound = heldKarpBoundDirected(D, Optimal);
+  EXPECT_LE(Bound, static_cast<double>(Optimal) + 1e-6) << "N=" << N;
+  // HK should be no weaker than half the optimum on these instances.
+  EXPECT_GE(Bound, 0.3 * static_cast<double>(Optimal) - 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeldKarpValidity,
+                         ::testing::Range<uint64_t>(1, 21));
+
+TEST(HeldKarpTest, TightOnMetricSymmetricInstances) {
+  // On symmetric instances with triangle-inequality-ish structure the HK
+  // bound is empirically within a few percent of optimal.
+  double WorstGap = 0.0;
+  for (uint64_t Seed = 1; Seed != 8; ++Seed) {
+    DirectedTsp D = randomSymmetricInstance(10, Seed * 29, 50);
+    // Make it metric-ish: c'(i,j) = c(i,j) + 50 reduces relative spread.
+    for (City I = 0; I != 10; ++I)
+      for (City J = 0; J != 10; ++J)
+        if (I != J)
+          D.setCost(I, J, D.cost(I, J) + 50);
+    int64_t Optimal = solveExactDirected(D);
+    double Bound = heldKarpBoundDirected(D, Optimal);
+    EXPECT_LE(Bound, static_cast<double>(Optimal) + 1e-6);
+    double Gap = (static_cast<double>(Optimal) - Bound) /
+                 static_cast<double>(Optimal);
+    WorstGap = std::max(WorstGap, Gap);
+  }
+  EXPECT_LT(WorstGap, 0.10);
+}
+
+TEST(HeldKarpTest, DegenerateSizes) {
+  DirectedTsp Two(2);
+  Two.setCost(0, 1, 3);
+  Two.setCost(1, 0, 9);
+  EXPECT_DOUBLE_EQ(heldKarpBoundDirected(Two, 12), 12.0);
+
+  DirectedTsp One(1);
+  EXPECT_DOUBLE_EQ(heldKarpBoundDirected(One, 0), 0.0);
+}
+
+TEST(HeldKarpTest, SymmetricBoundOnKnownInstance) {
+  // A 4-cycle with cheap ring edges (1) and expensive chords (10):
+  // optimal tour = 4; the HK bound must land at most 4 and at least the
+  // trivial spanning structure.
+  SymmetricTsp Sym(4);
+  for (City I = 0; I != 4; ++I)
+    for (City J = I + 1; J != 4; ++J)
+      Sym.setDist(I, J, 10);
+  Sym.setDist(0, 1, 1);
+  Sym.setDist(1, 2, 1);
+  Sym.setDist(2, 3, 1);
+  Sym.setDist(3, 0, 1);
+  double Bound = heldKarpBoundSymmetric(Sym, 4);
+  EXPECT_LE(Bound, 4.0 + 1e-9);
+  EXPECT_GE(Bound, 3.9); // HK is exact here (the LP optimum is the tour).
+}
+
+/// Property sweep: the AP bound is a valid relaxation.
+class AssignmentValidity : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AssignmentValidity, NeverExceedsOptimum) {
+  uint64_t Seed = GetParam();
+  size_t N = 3 + Seed % 8;
+  DirectedTsp D = randomInstance(N, Seed * 23 + 7);
+  AssignmentResult Ap = assignmentBound(D);
+  int64_t Optimal = solveExactDirected(D);
+  EXPECT_LE(Ap.Cost, Optimal);
+  EXPECT_GE(Ap.NumCycles, 1u);
+  // Successor must be a fixed-point-free permutation.
+  std::vector<bool> Hit(N, false);
+  for (City I = 0; I != N; ++I) {
+    EXPECT_NE(Ap.Successor[I], I);
+    EXPECT_LT(Ap.Successor[I], N);
+    EXPECT_FALSE(Hit[Ap.Successor[I]]);
+    Hit[Ap.Successor[I]] = true;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AssignmentValidity,
+                         ::testing::Range<uint64_t>(1, 21));
+
+TEST(AssignmentTest, MatchesBruteForceMinimumCycleCover) {
+  // The Hungarian result must equal the brute-force minimum over all
+  // fixed-point-free permutations (cycle covers), not just be a bound.
+  for (uint64_t Seed = 1; Seed != 10; ++Seed) {
+    size_t N = 3 + Seed % 4; // 3..6 cities.
+    DirectedTsp D = randomInstance(N, Seed * 53 + 1);
+    AssignmentResult Ap = assignmentBound(D);
+
+    std::vector<City> Perm(N);
+    for (City I = 0; I != N; ++I)
+      Perm[I] = I;
+    int64_t Best = INT64_MAX;
+    do {
+      bool FixedPointFree = true;
+      int64_t Cost = 0;
+      for (City I = 0; I != N; ++I) {
+        if (Perm[I] == I) {
+          FixedPointFree = false;
+          break;
+        }
+        Cost += D.cost(I, Perm[I]);
+      }
+      if (FixedPointFree)
+        Best = std::min(Best, Cost);
+    } while (std::next_permutation(Perm.begin(), Perm.end()));
+    EXPECT_EQ(Ap.Cost, Best) << "seed " << Seed << " N=" << N;
+  }
+}
+
+TEST(AssignmentTest, ExactWhenCoverIsOneCycle) {
+  // Ring instance: the cheapest cycle cover IS the optimal tour.
+  DirectedTsp D(5);
+  for (City I = 0; I != 5; ++I)
+    for (City J = 0; J != 5; ++J)
+      if (I != J)
+        D.setCost(I, J, 50);
+  for (City I = 0; I != 5; ++I)
+    D.setCost(I, (I + 1) % 5, 1);
+  AssignmentResult Ap = assignmentBound(D);
+  EXPECT_EQ(Ap.Cost, 5);
+  EXPECT_EQ(Ap.NumCycles, 1u);
+  EXPECT_EQ(Ap.Cost, solveExactDirected(D));
+}
+
+TEST(AssignmentTest, DetectsMultiCycleCovers) {
+  // Two cheap 2-cycles (0<->1, 2<->3) and expensive everything else:
+  // AP picks the two 2-cycles, underestimating the real tour.
+  DirectedTsp D(4);
+  for (City I = 0; I != 4; ++I)
+    for (City J = 0; J != 4; ++J)
+      if (I != J)
+        D.setCost(I, J, 100);
+  D.setCost(0, 1, 1);
+  D.setCost(1, 0, 1);
+  D.setCost(2, 3, 1);
+  D.setCost(3, 2, 1);
+  AssignmentResult Ap = assignmentBound(D);
+  EXPECT_EQ(Ap.Cost, 4);
+  EXPECT_EQ(Ap.NumCycles, 2u);
+  EXPECT_LT(Ap.Cost, solveExactDirected(D));
+}
+
+TEST(BoundsOrdering, HeldKarpDominatesApOnAlignmentLikeInstances) {
+  // The paper's appendix observes HK is much stronger than AP on branch
+  // alignment instances; verify HK >= AP on skewed random instances
+  // (where the AP bound splinters into many tiny cycles).
+  unsigned HkWins = 0, Trials = 0;
+  for (uint64_t Seed = 1; Seed != 11; ++Seed) {
+    DirectedTsp D = randomInstance(12, Seed * 41, 1000);
+    // Give every city one very cheap outgoing arc to mimic hot CFG paths.
+    Rng R(Seed);
+    for (City I = 0; I != 12; ++I) {
+      City J = static_cast<City>((I + 1 + R.nextIndex(11)) % 12);
+      if (J != I)
+        D.setCost(I, J, 0);
+    }
+    int64_t Optimal = solveExactDirected(D);
+    double Hk = heldKarpBoundDirected(D, Optimal);
+    AssignmentResult Ap = assignmentBound(D);
+    ++Trials;
+    if (Hk >= static_cast<double>(Ap.Cost) - 1e-6)
+      ++HkWins;
+  }
+  EXPECT_GE(HkWins * 10, Trials * 7) << "HK should usually dominate AP";
+}

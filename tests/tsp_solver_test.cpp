@@ -1,0 +1,201 @@
+//===- tests/tsp_solver_test.cpp - Local search and iterated-3-Opt tests ------===//
+
+#include "support/Random.h"
+#include "tsp/Construct.h"
+#include "tsp/Exact.h"
+#include "tsp/Instance.h"
+#include "tsp/IteratedOpt.h"
+#include "tsp/LocalSearch.h"
+#include "tsp/Transform.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+using namespace balign;
+
+namespace {
+
+DirectedTsp randomInstance(size_t N, uint64_t Seed, int64_t MaxCost = 100) {
+  Rng R(Seed);
+  DirectedTsp Dtsp(N);
+  for (City I = 0; I != N; ++I)
+    for (City J = 0; J != N; ++J)
+      if (I != J)
+        Dtsp.setCost(I, J, static_cast<int64_t>(R.nextBelow(MaxCost + 1)));
+  return Dtsp;
+}
+
+/// Brute-force optimal directed tour cost (city 0 fixed), for N <= 9.
+int64_t bruteForce(const DirectedTsp &D) {
+  size_t N = D.numCities();
+  std::vector<City> Perm(N - 1);
+  std::iota(Perm.begin(), Perm.end(), 1);
+  int64_t Best = INT64_MAX;
+  do {
+    std::vector<City> Tour;
+    Tour.push_back(0);
+    Tour.insert(Tour.end(), Perm.begin(), Perm.end());
+    Best = std::min(Best, D.tourCost(Tour));
+  } while (std::next_permutation(Perm.begin(), Perm.end()));
+  return Best;
+}
+
+} // namespace
+
+TEST(ExactTest, MatchesBruteForceOnRandomInstances) {
+  for (uint64_t Seed = 1; Seed != 15; ++Seed) {
+    size_t N = 2 + Seed % 6; // 2..7 cities.
+    DirectedTsp D = randomInstance(N, Seed);
+    std::vector<City> Tour;
+    int64_t Cost = solveExactDirected(D, &Tour);
+    EXPECT_EQ(Cost, bruteForce(D)) << "seed " << Seed;
+    EXPECT_TRUE(isValidTour(Tour, N));
+    EXPECT_EQ(D.tourCost(Tour), Cost);
+  }
+}
+
+TEST(ExactTest, HandlesTrivialSizes) {
+  DirectedTsp One(1);
+  std::vector<City> Tour;
+  EXPECT_EQ(solveExactDirected(One, &Tour), 0);
+  EXPECT_EQ(Tour, std::vector<City>{0});
+
+  DirectedTsp Two(2);
+  Two.setCost(0, 1, 4);
+  Two.setCost(1, 0, 9);
+  EXPECT_EQ(solveExactDirected(Two, &Tour), 13);
+}
+
+TEST(LocalSearchTest, NeverWorsensAndStaysValid) {
+  for (uint64_t Seed = 1; Seed != 8; ++Seed) {
+    DirectedTsp D = randomInstance(15, Seed * 31);
+    SymmetricTransform T = transformToSymmetric(D);
+    NeighborLists Neighbors(T.Sym, 10);
+    Rng R(Seed);
+    std::vector<City> Dir = canonicalTour(15);
+    R.shuffle(Dir);
+    std::vector<City> Sym = T.toSymmetricTour(Dir);
+    int64_t Before = T.Sym.tourCost(Sym);
+    int64_t After = localSearchSymmetric(T.Sym, Neighbors, Sym);
+    EXPECT_LE(After, Before);
+    EXPECT_TRUE(isValidTour(Sym, 30));
+    // Pair edges survive local search, so the tour collapses.
+    std::vector<City> Back = T.toDirectedTour(Sym);
+    EXPECT_EQ(D.tourCost(Back), T.toDirectedCost(After));
+  }
+}
+
+TEST(LocalSearchTest, ReachesTwoOptLocalOptimum) {
+  DirectedTsp D = randomInstance(12, 99);
+  SymmetricTransform T = transformToSymmetric(D);
+  NeighborLists Neighbors(T.Sym, 23); // Full lists.
+  std::vector<City> Sym = T.toSymmetricTour(canonicalTour(12));
+  localSearchSymmetric(T.Sym, Neighbors, Sym);
+  int64_t Cost = T.Sym.tourCost(Sym);
+
+  // No single 2-opt move may improve the result further.
+  size_t N = Sym.size();
+  for (size_t I = 0; I + 2 < N; ++I) {
+    for (size_t J = I + 2; J < N; ++J) {
+      if (I == 0 && J + 1 == N)
+        continue;
+      std::vector<City> Alt = Sym;
+      std::reverse(Alt.begin() + I + 1, Alt.begin() + J + 1);
+      EXPECT_GE(T.Sym.tourCost(Alt), Cost)
+          << "improving 2-opt move left at (" << I << "," << J << ")";
+    }
+  }
+}
+
+TEST(DoubleBridgeTest, PreservesPermutationAndStart) {
+  Rng R(5);
+  for (size_t N : {4u, 5u, 8u, 20u, 101u}) {
+    std::vector<City> Tour = canonicalTour(N);
+    doubleBridge(Tour, R);
+    EXPECT_TRUE(isValidTour(Tour, N));
+    EXPECT_EQ(Tour[0], 0u) << "double bridge must keep segment A first";
+  }
+}
+
+TEST(DoubleBridgeTest, TinyToursUntouched) {
+  Rng R(6);
+  std::vector<City> Tour = {0, 1, 2};
+  doubleBridge(Tour, R);
+  EXPECT_EQ(Tour, (std::vector<City>{0, 1, 2}));
+}
+
+TEST(DoubleBridgeTest, ActuallyPerturbs) {
+  Rng R(7);
+  std::vector<City> Tour = canonicalTour(30);
+  doubleBridge(Tour, R);
+  EXPECT_NE(Tour, canonicalTour(30));
+}
+
+/// Property sweep: iterated 3-Opt matches the exact optimum on small
+/// random instances across many seeds.
+class IteratedOptOptimality : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IteratedOptOptimality, FindsOptimumOnSmallInstances) {
+  uint64_t Seed = GetParam();
+  size_t N = 4 + Seed % 9; // 4..12 cities.
+  DirectedTsp D = randomInstance(N, Seed * 13 + 1);
+  IteratedOptOptions Options;
+  Options.Seed = Seed;
+  DtspSolution Solution = solveDirectedTsp(D, Options);
+  EXPECT_TRUE(isValidTour(Solution.Tour, N));
+  EXPECT_EQ(D.tourCost(Solution.Tour), Solution.Cost);
+  EXPECT_EQ(Solution.Cost, solveExactDirected(D)) << "N=" << N;
+  EXPECT_EQ(Solution.NumRuns, 10u);
+  EXPECT_GE(Solution.RunsFindingBest, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IteratedOptOptimality,
+                         ::testing::Range<uint64_t>(1, 26));
+
+TEST(IteratedOptTest, NearOptimalOnMediumInstances) {
+  // 16-18 cities: still exactly solvable; allow a sliver of slack.
+  for (uint64_t Seed = 1; Seed != 5; ++Seed) {
+    size_t N = 16 + Seed % 3;
+    DirectedTsp D = randomInstance(N, Seed * 7 + 3);
+    IteratedOptOptions Options;
+    Options.Seed = Seed;
+    DtspSolution Solution = solveDirectedTsp(D, Options);
+    int64_t Optimal = solveExactDirected(D);
+    EXPECT_GE(Solution.Cost, Optimal);
+    EXPECT_LE(static_cast<double>(Solution.Cost),
+              static_cast<double>(Optimal) * 1.05 + 1.0)
+        << "seed " << Seed;
+  }
+}
+
+TEST(IteratedOptTest, TrivialSizes) {
+  IteratedOptOptions Options;
+  DirectedTsp Two(2);
+  Two.setCost(0, 1, 3);
+  Two.setCost(1, 0, 4);
+  DtspSolution S = solveDirectedTsp(Two, Options);
+  EXPECT_EQ(S.Cost, 7);
+
+  DirectedTsp Three(3);
+  Three.setCost(0, 1, 1);
+  Three.setCost(1, 2, 1);
+  Three.setCost(2, 0, 1);
+  Three.setCost(0, 2, 10);
+  Three.setCost(2, 1, 10);
+  Three.setCost(1, 0, 10);
+  S = solveDirectedTsp(Three, Options);
+  EXPECT_EQ(S.Cost, 3);
+}
+
+TEST(IteratedOptTest, DeterministicForFixedSeed) {
+  DirectedTsp D = randomInstance(20, 555);
+  IteratedOptOptions Options;
+  Options.Seed = 77;
+  DtspSolution A = solveDirectedTsp(D, Options);
+  DtspSolution B = solveDirectedTsp(D, Options);
+  EXPECT_EQ(A.Cost, B.Cost);
+  EXPECT_EQ(A.Tour, B.Tour);
+  EXPECT_EQ(A.RunsFindingBest, B.RunsFindingBest);
+}
