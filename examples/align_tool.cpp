@@ -19,6 +19,7 @@
 #include "align/Aligners.h"
 #include "align/Bounds.h"
 #include "align/Penalty.h"
+#include "analysis/PipelineVerifier.h"
 #include "ir/Dot.h"
 #include "ir/TextFormat.h"
 #include "machine/MachineModel.h"
@@ -67,6 +68,7 @@ struct ToolOptions {
   uint64_t Seed = 1;
   bool EmitDot = false;
   bool ComputeBounds = false;
+  VerifyLevel Verify = VerifyLevel::None;
 };
 
 bool parseArgs(int Argc, char **Argv, ToolOptions &Options) {
@@ -108,11 +110,22 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Options) {
       Options.EmitDot = true;
     } else if (Arg == "--bounds") {
       Options.ComputeBounds = true;
+    } else if (Arg == "--verify" || Arg == "--verify=full") {
+      Options.Verify = VerifyLevel::Full;
+    } else if (Arg == "--verify=quick") {
+      Options.Verify = VerifyLevel::Quick;
+    } else if (Arg == "--verify=none") {
+      Options.Verify = VerifyLevel::None;
+    } else if (Arg.rfind("--verify=", 0) == 0) {
+      std::fprintf(stderr, "error: unknown verify level '%s' "
+                   "(want quick, full, or none)\n",
+                   Arg.c_str() + std::strlen("--verify="));
+      return false;
     } else if (Arg == "--help" || Arg == "-h") {
       std::printf("usage: align_tool [file.cfg] [--aligner "
                   "greedy|tsp|cg|original] [--budget N] [--seed N] "
-                  "[--dot] [--bounds] [--profile FILE] "
-                  "[--emit-profile FILE]\n");
+                  "[--dot] [--bounds] [--verify[=quick|full|none]] "
+                  "[--profile FILE] [--emit-profile FILE]\n");
       return false;
     } else if (!Arg.empty() && Arg[0] != '-') {
       Options.File = Arg;
@@ -239,6 +252,29 @@ int main(int Argc, char **Argv) {
   }
 
   MachineModel Model = MachineModel::alpha21164();
+
+  // --verify: run the whole alignment pipeline under balign-verify
+  // (CFG + profile-flow input checks, then verify-each on every matrix,
+  // tour, and layout; Full adds the exactness audits and the
+  // determinism replay). Orthogonal to the report below, which uses
+  // whatever aligner was requested.
+  if (Options.Verify != VerifyLevel::None) {
+    DiagnosticEngine Diags;
+    Diags.setEchoToStderr(true);
+    VerifyOptions Verify;
+    Verify.Level = Options.Verify;
+    AlignmentOptions AlignOptions;
+    AlignOptions.Model = Model;
+    AlignOptions.Solver.Seed = Options.Seed;
+    AlignOptions.ComputeBounds = true;
+    alignProgramVerified(*Prog, Counts, AlignOptions, Diags, Verify);
+    std::printf("verify (%s): %s\n",
+                Options.Verify == VerifyLevel::Full ? "full" : "quick",
+                Diags.summary().c_str());
+    if (Diags.hasErrors())
+      return 1;
+  }
+
   TextTable Report;
   Report.addColumn("procedure");
   Report.addColumn("blocks", TextTable::AlignKind::Right);

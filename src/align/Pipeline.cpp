@@ -3,11 +3,24 @@
 #include "align/Pipeline.h"
 
 #include "align/Penalty.h"
+#include "analysis/Diagnostics.h"
 #include "support/Timer.h"
 
-#include <cassert>
-
 using namespace balign;
+
+// Arity mismatches between a program and its profiles are caller bugs
+// that would otherwise surface as silent out-of-bounds reads; fail
+// loudly in every build mode through the diagnostics core instead of a
+// bare assert that release builds would have stripped in a conventional
+// NDEBUG setup.
+static void fatalArityMismatch(CheckId Check, const char *What, size_t Got,
+                               size_t Want) {
+  reportFatal(Diagnostic{Severity::Error, Check, "pipeline",
+                         DiagLocation::program(),
+                         std::string(What) + " has " + std::to_string(Got) +
+                             " entries for a program with " +
+                             std::to_string(Want) + " procedures"});
+}
 
 uint64_t ProgramAlignment::totalOriginalPenalty() const {
   uint64_t Sum = 0;
@@ -71,8 +84,9 @@ std::vector<Layout> ProgramAlignment::tspLayouts() const {
 ProgramAlignment balign::alignProgram(const Program &Prog,
                                       const ProgramProfile &Train,
                                       const AlignmentOptions &Options) {
-  assert(Train.Procs.size() == Prog.numProcedures() &&
-         "profile does not match program");
+  if (Train.Procs.size() != Prog.numProcedures())
+    fatalArityMismatch(CheckId::PipelineProfileArity, "training profile",
+                       Train.Procs.size(), Prog.numProcedures());
   ProgramAlignment Result;
   Result.Procs.reserve(Prog.numProcedures());
   GreedyAligner Greedy;
@@ -80,6 +94,13 @@ ProgramAlignment balign::alignProgram(const Program &Prog,
   for (size_t I = 0; I != Prog.numProcedures(); ++I) {
     const Procedure &Proc = Prog.proc(I);
     const ProcedureProfile &Profile = Train.Procs[I];
+    if (Profile.BlockCounts.size() != Proc.numBlocks())
+      reportFatal(Diagnostic{
+          Severity::Error, CheckId::PipelineProfileShape, "pipeline",
+          DiagLocation::procedure(Proc.getName()),
+          "profile covers " + std::to_string(Profile.BlockCounts.size()) +
+              " blocks but the procedure has " +
+              std::to_string(Proc.numBlocks())});
     ProcedureAlignment PA;
 
     PA.OriginalLayout = Layout::original(Proc);
@@ -94,6 +115,8 @@ ProgramAlignment balign::alignProgram(const Program &Prog,
       PA.GreedyLayout = PA.OriginalLayout;
       PA.TspLayout = PA.OriginalLayout;
       Result.Procs.push_back(std::move(PA));
+      if (Options.Hooks.AfterProcedure)
+        Options.Hooks.AfterProcedure(I, Proc, Profile, Result.Procs.back());
       continue;
     }
 
@@ -106,6 +129,8 @@ ProgramAlignment balign::alignProgram(const Program &Prog,
     Stopwatch MatrixTimer;
     AlignmentTsp Atsp = buildAlignmentTsp(Proc, Profile, Options.Model);
     Result.MatrixSeconds += MatrixTimer.seconds();
+    if (Options.Hooks.AfterMatrix)
+      Options.Hooks.AfterMatrix(I, Proc, Profile, Atsp);
 
     Stopwatch SolverTimer;
     // Give each procedure a solver stream derived from the root seed so
@@ -114,6 +139,9 @@ ProgramAlignment balign::alignProgram(const Program &Prog,
     SolverOptions.Seed = Options.Solver.Seed + 0x9e3779b9u * (I + 1);
     DtspSolution Solution = solveDirectedTsp(Atsp.Tsp, SolverOptions);
     Result.SolverSeconds += SolverTimer.seconds();
+    if (Options.Hooks.AfterSolve)
+      Options.Hooks.AfterSolve(I, Proc, Profile, Atsp, Solution,
+                               SolverOptions);
 
     PA.TspLayout = layoutFromTour(Proc, Atsp, Solution.Tour);
     PA.TspPenalty = evaluateLayout(Proc, PA.TspLayout, Options.Model,
@@ -128,6 +156,8 @@ ProgramAlignment balign::alignProgram(const Program &Prog,
       Result.BoundsSeconds += BoundsTimer.seconds();
     }
     Result.Procs.push_back(std::move(PA));
+    if (Options.Hooks.AfterProcedure)
+      Options.Hooks.AfterProcedure(I, Proc, Profile, Result.Procs.back());
   }
   return Result;
 }
@@ -137,10 +167,15 @@ uint64_t balign::evaluateProgramPenalty(const Program &Prog,
                                         const MachineModel &Model,
                                         const ProgramProfile &Predict,
                                         const ProgramProfile &Charge) {
-  assert(Layouts.size() == Prog.numProcedures() &&
-         Predict.Procs.size() == Prog.numProcedures() &&
-         Charge.Procs.size() == Prog.numProcedures() &&
-         "argument arity mismatch");
+  if (Layouts.size() != Prog.numProcedures())
+    fatalArityMismatch(CheckId::PipelineLayoutArity, "layout list",
+                       Layouts.size(), Prog.numProcedures());
+  if (Predict.Procs.size() != Prog.numProcedures())
+    fatalArityMismatch(CheckId::PipelineProfileArity, "prediction profile",
+                       Predict.Procs.size(), Prog.numProcedures());
+  if (Charge.Procs.size() != Prog.numProcedures())
+    fatalArityMismatch(CheckId::PipelineProfileArity, "charge profile",
+                       Charge.Procs.size(), Prog.numProcedures());
   uint64_t Sum = 0;
   for (size_t I = 0; I != Prog.numProcedures(); ++I)
     Sum += evaluateLayout(Prog.proc(I), Layouts[I], Model, Predict.Procs[I],

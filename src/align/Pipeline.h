@@ -26,9 +26,42 @@
 #include "tsp/HeldKarp.h"
 #include "tsp/IteratedOpt.h"
 
+#include <functional>
 #include <vector>
 
 namespace balign {
+
+struct ProcedureAlignment;
+
+/// Observation points the pipeline exposes for verification
+/// instrumentation (the -verify-each idea): each callback, when set,
+/// fires synchronously after the named stage with the stage's inputs
+/// and freshly produced artifact. The pipeline itself never inspects
+/// the callbacks' behavior, so instrumentation cannot change results —
+/// analysis/PipelineVerifier.h installs the balign-verify passes here
+/// without the align library depending on them.
+struct PipelineStageHooks {
+  /// After the DTSP instance of a profiled procedure is built.
+  std::function<void(size_t ProcIndex, const Procedure &Proc,
+                     const ProcedureProfile &Train,
+                     const AlignmentTsp &Atsp)>
+      AfterMatrix;
+
+  /// After the solver returns; \p SolverOptions carries the derived
+  /// per-procedure seed actually used.
+  std::function<void(size_t ProcIndex, const Procedure &Proc,
+                     const ProcedureProfile &Train,
+                     const AlignmentTsp &Atsp, const DtspSolution &Solution,
+                     const IteratedOptOptions &SolverOptions)>
+      AfterSolve;
+
+  /// After a procedure's alignment record is complete (also fires for
+  /// unprofiled procedures that took the keep-original skip path).
+  std::function<void(size_t ProcIndex, const Procedure &Proc,
+                     const ProcedureProfile &Train,
+                     const ProcedureAlignment &Result)>
+      AfterProcedure;
+};
 
 /// Configuration for alignProgram.
 struct AlignmentOptions {
@@ -36,6 +69,9 @@ struct AlignmentOptions {
   IteratedOptOptions Solver;
   HeldKarpOptions HeldKarp;
   bool ComputeBounds = true;
+
+  /// Verification instrumentation; empty (and free) by default.
+  PipelineStageHooks Hooks;
 };
 
 /// Per-procedure outcome.

@@ -1,0 +1,226 @@
+//===- analysis/Diagnostics.cpp ------------------------------------------------===//
+
+#include "analysis/Diagnostics.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+using namespace balign;
+
+const char *balign::severityName(Severity Sev) {
+  switch (Sev) {
+  case Severity::Note:
+    return "note";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Error:
+    return "error";
+  }
+  assert(false && "unknown severity");
+  return "?";
+}
+
+const char *balign::checkIdName(CheckId Check) {
+  switch (Check) {
+  case CheckId::CfgNoBlocks:
+    return "cfg.no-blocks";
+  case CheckId::CfgEmptyBlock:
+    return "cfg.empty-block";
+  case CheckId::CfgSuccOutOfRange:
+    return "cfg.succ-out-of-range";
+  case CheckId::CfgJumpArity:
+    return "cfg.jump-arity";
+  case CheckId::CfgCondArity:
+    return "cfg.cond-arity";
+  case CheckId::CfgMultiArity:
+    return "cfg.multi-arity";
+  case CheckId::CfgRetHasSucc:
+    return "cfg.ret-has-succ";
+  case CheckId::CfgDuplicateEdge:
+    return "cfg.duplicate-edge";
+  case CheckId::CfgUnreachable:
+    return "cfg.unreachable-block";
+  case CheckId::CfgNoExitPath:
+    return "cfg.no-exit-path";
+  case CheckId::CfgNoReturn:
+    return "cfg.no-return-block";
+  case CheckId::ProfileShapeMismatch:
+    return "profile.shape-mismatch";
+  case CheckId::ProfileUnknownEdge:
+    return "profile.unknown-edge";
+  case CheckId::ProfileFlowImbalance:
+    return "profile.flow-imbalance";
+  case CheckId::ProfileFlowTruncated:
+    return "profile.flow-truncated";
+  case CheckId::ProfileCountOverflow:
+    return "profile.count-overflow";
+  case CheckId::LayoutNotPermutation:
+    return "layout.not-permutation";
+  case CheckId::LayoutEntryNotFirst:
+    return "layout.entry-not-first";
+  case CheckId::LayoutEdgeUnrealizable:
+    return "layout.edge-unrealizable";
+  case CheckId::LayoutFixupTargetWrong:
+    return "layout.fixup-target-wrong";
+  case CheckId::LayoutAddressDisorder:
+    return "layout.address-disorder";
+  case CheckId::LayoutItemIndexBroken:
+    return "layout.item-index-broken";
+  case CheckId::MatrixNegativeCost:
+    return "matrix.negative-cost";
+  case CheckId::MatrixBigMLeak:
+    return "matrix.bigm-leak";
+  case CheckId::MatrixDummyRowBroken:
+    return "matrix.dummy-row-broken";
+  case CheckId::MatrixCostMismatch:
+    return "matrix.cost-mismatch";
+  case CheckId::MatrixTransformInexact:
+    return "matrix.transform-inexact";
+  case CheckId::MatrixEntryPinTooSmall:
+    return "matrix.entry-pin-too-small";
+  case CheckId::TourInvalid:
+    return "tour.invalid";
+  case CheckId::TourCostMismatch:
+    return "tour.cost-mismatch";
+  case CheckId::TourPinPaid:
+    return "tour.pin-paid";
+  case CheckId::TourPenaltyMismatch:
+    return "tour.penalty-mismatch";
+  case CheckId::BoundHkExceedsTour:
+    return "bounds.hk-exceeds-tour";
+  case CheckId::BoundApExceedsTour:
+    return "bounds.ap-exceeds-tour";
+  case CheckId::BoundNegative:
+    return "bounds.negative";
+  case CheckId::DeterminismMatrixDiverged:
+    return "determinism.matrix-diverged";
+  case CheckId::DeterminismTourDiverged:
+    return "determinism.tour-diverged";
+  case CheckId::DeterminismLayoutDiverged:
+    return "determinism.layout-diverged";
+  case CheckId::PipelineProfileArity:
+    return "pipeline.profile-arity";
+  case CheckId::PipelineProfileShape:
+    return "pipeline.profile-shape";
+  case CheckId::PipelineLayoutArity:
+    return "pipeline.layout-arity";
+  }
+  assert(false && "unknown check id");
+  return "?";
+}
+
+DiagLocation DiagLocation::procedure(std::string Name) {
+  DiagLocation Loc;
+  Loc.Proc = std::move(Name);
+  return Loc;
+}
+
+DiagLocation DiagLocation::block(std::string ProcName, BlockId Id) {
+  DiagLocation Loc;
+  Loc.Proc = std::move(ProcName);
+  Loc.Block = Id;
+  return Loc;
+}
+
+DiagLocation DiagLocation::edge(std::string ProcName, BlockId From,
+                                BlockId To) {
+  DiagLocation Loc;
+  Loc.Proc = std::move(ProcName);
+  Loc.Block = From;
+  Loc.EdgeTo = To;
+  return Loc;
+}
+
+std::string DiagLocation::str() const {
+  if (Proc.empty())
+    return "<program>";
+  std::string Out = "proc '" + Proc + "'";
+  if (Block != InvalidBlock) {
+    Out += " block " + std::to_string(Block);
+    if (EdgeTo != InvalidBlock)
+      Out += " -> " + std::to_string(EdgeTo);
+  }
+  return Out;
+}
+
+std::string Diagnostic::render() const {
+  std::ostringstream Out;
+  Out << severityName(Sev) << ": [" << checkIdName(Check) << "] " << Pass
+      << ": " << Loc.str() << ": " << Message;
+  return Out.str();
+}
+
+void DiagnosticEngine::report(Diagnostic Diag) {
+  switch (Diag.Sev) {
+  case Severity::Note:
+    ++NumNotes;
+    break;
+  case Severity::Warning:
+    ++NumWarnings;
+    break;
+  case Severity::Error:
+    ++NumErrors;
+    break;
+  }
+  if (EchoToStderr)
+    std::fprintf(stderr, "%s\n", Diag.render().c_str());
+  Diags.push_back(std::move(Diag));
+}
+
+void DiagnosticEngine::report(Severity Sev, CheckId Check, std::string Pass,
+                              DiagLocation Loc, std::string Message) {
+  Diagnostic Diag;
+  Diag.Sev = Sev;
+  Diag.Check = Check;
+  Diag.Pass = std::move(Pass);
+  Diag.Loc = std::move(Loc);
+  Diag.Message = std::move(Message);
+  report(std::move(Diag));
+}
+
+size_t DiagnosticEngine::count(CheckId Check) const {
+  size_t Count = 0;
+  for (const Diagnostic &Diag : Diags)
+    if (Diag.Check == Check)
+      ++Count;
+  return Count;
+}
+
+std::string DiagnosticEngine::renderAll() const {
+  std::string Out;
+  for (const Diagnostic &Diag : Diags) {
+    Out += Diag.render();
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::string DiagnosticEngine::summary() const {
+  std::ostringstream Out;
+  Out << NumErrors << (NumErrors == 1 ? " error, " : " errors, ")
+      << NumWarnings << (NumWarnings == 1 ? " warning" : " warnings");
+  if (NumNotes)
+    Out << ", " << NumNotes << (NumNotes == 1 ? " note" : " notes");
+  return Out.str();
+}
+
+void DiagnosticEngine::clear() {
+  Diags.clear();
+  NumErrors = NumWarnings = NumNotes = 0;
+}
+
+void balign::reportFatal(const Diagnostic &Diag) {
+  std::fprintf(stderr, "balign fatal: %s\n", Diag.render().c_str());
+  std::abort();
+}
+
+void balign::reportFatalIfErrors(const DiagnosticEngine &Diags,
+                                 const char *What) {
+  if (!Diags.hasErrors())
+    return;
+  std::fprintf(stderr, "balign fatal: %s failed verification (%s)\n%s", What,
+               Diags.summary().c_str(), Diags.renderAll().c_str());
+  std::abort();
+}

@@ -1,0 +1,145 @@
+//===- analysis/LayoutCheck.cpp - Layout legality checking ----------------------===//
+//
+// Pass 3 of balign-verify: is a layout actually emittable? Following
+// Boender & Sacerdoti Coen's observation that layout/branch-encoding
+// code deserves machine-checked invariants, this pass re-derives the
+// executable form of a layout (materializeLayout) and proves, per
+// procedure:
+//
+//  * the permutation is total and pinned at the entry;
+//  * every CFG edge the training profile saw executed is realizable in
+//    the materialized code — as a fall-through, a conditional's taken
+//    direction, a multiway target, or a fall-through fixup jump;
+//  * inserted fixup jumps sit directly after their conditional and
+//    target exactly the arranged fall-through block;
+//  * item addresses are strictly increasing and gap-free (no overlapping
+//    or phantom code).
+//
+//===--------------------------------------------------------------------===//
+
+#include "analysis/Verifier.h"
+
+using namespace balign;
+
+static const char PassName[] = "layout-check";
+
+size_t balign::checkLayout(const Procedure &Proc, const Layout &L,
+                           const ProcedureProfile &Train,
+                           const MachineModel &Model,
+                           DiagnosticEngine &Diags) {
+  size_t Before = Diags.errorCount();
+  const std::string &Name = Proc.getName();
+
+  // Permutation validity first; materialization requires it.
+  bool Permutation = L.Order.size() == Proc.numBlocks();
+  if (Permutation) {
+    std::vector<bool> Seen(Proc.numBlocks(), false);
+    for (BlockId Id : L.Order) {
+      if (Id >= Proc.numBlocks() || Seen[Id]) {
+        Permutation = false;
+        break;
+      }
+      Seen[Id] = true;
+    }
+  }
+  if (!Permutation) {
+    Diags.report(Severity::Error, CheckId::LayoutNotPermutation, PassName,
+                 DiagLocation::procedure(Name),
+                 "layout order is not a permutation of the " +
+                     std::to_string(Proc.numBlocks()) + " blocks");
+    return Diags.errorCount() - Before;
+  }
+  if (L.Order.front() != Proc.entry()) {
+    Diags.report(Severity::Error, CheckId::LayoutEntryNotFirst, PassName,
+                 DiagLocation::procedure(Name),
+                 "layout starts at block " + std::to_string(L.Order.front()) +
+                     ", not the entry");
+    return Diags.errorCount() - Before;
+  }
+
+  MaterializedLayout Mat = materializeLayout(Proc, L, Train, Model);
+
+  // Item index and address invariants.
+  size_t FixupsSeen = 0;
+  uint64_t NextAddress = 0;
+  for (size_t I = 0; I != Mat.Items.size(); ++I) {
+    const LayoutItem &Item = Mat.Items[I];
+    if (Item.isFixup())
+      ++FixupsSeen;
+    if (Item.Address != NextAddress)
+      Diags.report(Severity::Error, CheckId::LayoutAddressDisorder, PassName,
+                   DiagLocation::procedure(Name),
+                   "item " + std::to_string(I) + " at address " +
+                       std::to_string(Item.Address) + ", expected " +
+                       std::to_string(NextAddress));
+    NextAddress = Item.Address +
+                  static_cast<uint64_t>(Item.SizeInstrs) * BytesPerInstr;
+  }
+  if (Mat.TotalBytes != NextAddress || FixupsSeen != Mat.NumFixups)
+    Diags.report(Severity::Error, CheckId::LayoutAddressDisorder, PassName,
+                 DiagLocation::procedure(Name),
+                 "materialization totals disagree with its items");
+  for (BlockId Id = 0; Id != Proc.numBlocks(); ++Id)
+    if (Mat.ItemOfBlock[Id] >= Mat.Items.size() ||
+        Mat.Items[Mat.ItemOfBlock[Id]].Block != Id)
+      Diags.report(Severity::Error, CheckId::LayoutItemIndexBroken, PassName,
+                   DiagLocation::block(Name, Id),
+                   "ItemOfBlock does not point at this block's item");
+
+  // Realizability of every executed CFG edge, per terminator kind.
+  for (BlockId Id = 0; Id != Proc.numBlocks(); ++Id) {
+    const std::vector<BlockId> &Succs = Proc.successors(Id);
+    size_t ItemIndex = Mat.ItemOfBlock[Id];
+    if (ItemIndex >= Mat.Items.size())
+      continue; // Already reported above.
+    const LayoutItem *NextItem =
+        ItemIndex + 1 < Mat.Items.size() ? &Mat.Items[ItemIndex + 1] : nullptr;
+
+    switch (Proc.block(Id).Kind) {
+    case TerminatorKind::Return:
+    case TerminatorKind::Multiway:
+      // Returns leave the procedure; a multiway's indirect jump reaches
+      // any target by construction.
+      break;
+
+    case TerminatorKind::Unconditional:
+      // The block's own terminator is (or becomes) the jump, so the edge
+      // is always realizable; nothing layout-dependent to prove.
+      break;
+
+    case TerminatorKind::Conditional: {
+      const BranchArrangement &Arr = Mat.Arrangements[Id];
+      for (size_t S = 0; S != Succs.size(); ++S) {
+        if (Train.edgeCount(Id, S) == 0)
+          continue; // Unexecuted edges may be arranged arbitrarily.
+        BlockId Target = Succs[S];
+        if (Arr.TakenTarget != Target && Arr.FallThroughTarget != Target)
+          Diags.report(Severity::Error, CheckId::LayoutEdgeUnrealizable,
+                       PassName, DiagLocation::edge(Name, Id, Target),
+                       "executed edge is neither the taken target nor the "
+                       "fall-through of its arrangement");
+      }
+      if (Arr.FallThroughViaFixup) {
+        // The fixup jump must sit directly after the block and transfer
+        // to the arranged fall-through target.
+        if (!NextItem || !NextItem->isFixup() ||
+            NextItem->FixupTarget != Arr.FallThroughTarget)
+          Diags.report(Severity::Error, CheckId::LayoutFixupTargetWrong,
+                       PassName,
+                       DiagLocation::edge(Name, Id, Arr.FallThroughTarget),
+                       "fall-through-via-fixup has no correctly targeted "
+                       "fixup jump directly after the block");
+      } else if (!NextItem || NextItem->Block != Arr.FallThroughTarget) {
+        Diags.report(Severity::Error, CheckId::LayoutEdgeUnrealizable,
+                     PassName,
+                     DiagLocation::edge(Name, Id, Arr.FallThroughTarget),
+                     "arranged fall-through target is not the next item "
+                     "in the layout");
+      }
+      break;
+    }
+    }
+  }
+
+  return Diags.errorCount() - Before;
+}

@@ -1,0 +1,92 @@
+//===- analysis/PipelineVerifier.h - verify-each for align::Pipeline --------===//
+//
+// Part of the balign project (PLDI 1997 branch-alignment reproduction).
+//
+//===--------------------------------------------------------------------===//
+///
+/// \file
+/// Ties the balign-verify passes to the alignment pipeline's stage hooks
+/// (the LLVM -verify-each idea): a PipelineVerifier installs callbacks
+/// into AlignmentOptions::Hooks so every cost matrix, tour, and layout
+/// the pipeline produces is checked the moment it exists, and collects
+/// all findings in one DiagnosticEngine.
+///
+/// The verifier must outlive the alignProgram call it instruments (the
+/// installed callbacks capture `this`).
+///
+//===--------------------------------------------------------------------===//
+
+#ifndef BALIGN_ANALYSIS_PIPELINEVERIFIER_H
+#define BALIGN_ANALYSIS_PIPELINEVERIFIER_H
+
+#include "align/Pipeline.h"
+#include "analysis/Verifier.h"
+
+namespace balign {
+
+class PipelineVerifier {
+public:
+  explicit PipelineVerifier(DiagnosticEngine &Diags,
+                            VerifyOptions Options = VerifyOptions())
+      : Diags(Diags), Options(Options) {}
+
+  /// Verifies the pipeline's inputs: every procedure's CFG and every
+  /// procedure profile's flow conservation. Returns errors added.
+  size_t verifyInputs(const Program &Prog, const ProgramProfile &Train);
+
+  /// Installs verify-each callbacks into \p AlignOptions. Overwrites any
+  /// hooks already present.
+  void install(AlignmentOptions &AlignOptions);
+
+  /// Verifies a finished whole-program alignment: layout legality of
+  /// every produced layout and the bound ordering. For alignments
+  /// produced without the hooks installed; the determinism replay needs
+  /// the in-flight stage artifacts and only runs through verify-each.
+  size_t verifyAlignment(const Program &Prog, const ProgramProfile &Train,
+                         const MachineModel &Model,
+                         const ProgramAlignment &Alignment);
+
+  DiagnosticEngine &diags() { return Diags; }
+  const VerifyOptions &options() const { return Options; }
+
+private:
+  void afterMatrix(size_t ProcIndex, const Procedure &Proc,
+                   const ProcedureProfile &Train, const AlignmentTsp &Atsp);
+  void afterSolve(size_t ProcIndex, const Procedure &Proc,
+                  const ProcedureProfile &Train, const AlignmentTsp &Atsp,
+                  const DtspSolution &Solution,
+                  const IteratedOptOptions &SolverOptions);
+  void afterProcedure(size_t ProcIndex, const Procedure &Proc,
+                      const ProcedureProfile &Train,
+                      const ProcedureAlignment &Result);
+
+  DiagnosticEngine &Diags;
+  VerifyOptions Options;
+  MachineModel Model = MachineModel::alpha21164();
+
+  /// Stage artifacts cached between hooks of the same procedure, so the
+  /// AfterProcedure handler can replay the whole chain. Empty for
+  /// unprofiled procedures, which skip the matrix and solve stages.
+  struct StageCache {
+    bool Valid = false;
+    size_t ProcIndex = 0;
+    AlignmentTsp Atsp;
+    DtspSolution Solution;
+    IteratedOptOptions SolverOptions;
+  };
+  StageCache Cache;
+};
+
+/// One-call verified alignment: checks the inputs, runs alignProgram
+/// with verify-each installed, then checks the produced layouts and
+/// bounds. All findings land in \p Diags; the alignment is returned
+/// regardless (callers decide whether errors are fatal).
+ProgramAlignment alignProgramVerified(const Program &Prog,
+                                      const ProgramProfile &Train,
+                                      AlignmentOptions Options,
+                                      DiagnosticEngine &Diags,
+                                      VerifyOptions Verify = VerifyOptions());
+
+} // namespace balign
+
+#endif // BALIGN_ANALYSIS_PIPELINEVERIFIER_H

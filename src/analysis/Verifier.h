@@ -1,0 +1,181 @@
+//===- analysis/Verifier.h - The six balign-verify analyses ---------------===//
+//
+// Part of the balign project (PLDI 1997 branch-alignment reproduction).
+//
+//===--------------------------------------------------------------------===//
+///
+/// \file
+/// The verifier-pass layer of balign-verify: six analyses covering the
+/// whole reduction chain CFG -> profile -> DTSP matrix -> STSP transform
+/// -> tour -> layout, in the spirit of LLVM's IR verifier and
+/// Boender & Sacerdoti Coen's machine-checked branch-displacement
+/// invariants. Each pass is a free function that inspects one artifact,
+/// reports structured findings into a DiagnosticEngine, and returns the
+/// number of *errors* it added (so callers can gate on a single pass).
+///
+/// The passes, their names, and their check-ID prefixes:
+///
+///  1. cfg-verify    (cfg.*)     deep CFG structural verification —
+///                               subsumes Procedure::verify and adds
+///                               exit-reachability and no-return findings.
+///  2. profile-flow  (profile.*) Kirchhoff flow conservation of edge
+///                               profiles with entry/exit slack; shape
+///                               and overflow screens.
+///  3. layout-check  (layout.*)  layout legality: permutation, entry
+///                               pinning, realizability of every executed
+///                               CFG edge in the materialized layout,
+///                               fixup-target and address invariants.
+///  4. matrix-audit  (matrix.*)  DTSP cost-matrix invariants: big-M
+///                               containment, dummy-city row shape, cell
+///                               exactness against the penalty model,
+///                               DTSP<->STSP transform exactness.
+///  5. tour-bounds   (tour.* / bounds.*) tour validity, reported-cost and
+///                               reduction exactness (tour cost ==
+///                               layout penalty), HK/AP bound ordering
+///                               against the best tour on the directed
+///                               cost scale.
+///  6. determinism   (determinism.*) replays a pipeline stage with the
+///                               same seed and diffs matrix, tour cost,
+///                               and layout against the first run.
+///
+/// Passes never mutate their inputs and never abort; policy (abort, exit
+/// code, test assertion) belongs to callers. PipelineVerifier.h wires
+/// them into align::Pipeline as verify-each hooks.
+///
+//===--------------------------------------------------------------------===//
+
+#ifndef BALIGN_ANALYSIS_VERIFIER_H
+#define BALIGN_ANALYSIS_VERIFIER_H
+
+#include "align/Bounds.h"
+#include "align/Layout.h"
+#include "align/Reduction.h"
+#include "analysis/Diagnostics.h"
+#include "ir/CFG.h"
+#include "machine/MachineModel.h"
+#include "profile/Profile.h"
+#include "tsp/Instance.h"
+#include "tsp/IteratedOpt.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace balign {
+
+/// How much verification effort to spend.
+enum class VerifyLevel : uint8_t {
+  None,  ///< Verification disabled.
+  Quick, ///< Linear-time structural checks only.
+  Full,  ///< Adds O(N^2) matrix exactness audits and determinism replay.
+};
+
+/// Knobs shared by the passes.
+struct VerifyOptions {
+  VerifyLevel Level = VerifyLevel::Full;
+
+  /// Allowed aggregate outflow deficit per procedure before profile-flow
+  /// warns about truncated traces (each abandoned walk loses one edge).
+  uint64_t TruncationSlack = 0;
+
+  /// Counts above this are reported as overflow-suspicious: penalties
+  /// multiply counts by up to 7 cycles and sum them in int64, so profile
+  /// counts must stay far below the 2^63 ceiling.
+  uint64_t OverflowLimit = uint64_t(1) << 56;
+};
+
+//===--------------------------------------------------------------------===//
+// 1. cfg-verify
+//===--------------------------------------------------------------------===//
+
+/// Deep CFG verification of one procedure. Reports every violation (it
+/// does not stop at the first, unlike Procedure::verify).
+size_t checkCfg(const Procedure &Proc, DiagnosticEngine &Diags);
+
+/// Verifies every procedure of \p Prog.
+size_t checkCfg(const Program &Prog, DiagnosticEngine &Diags);
+
+//===--------------------------------------------------------------------===//
+// 2. profile-flow
+//===--------------------------------------------------------------------===//
+
+/// Flow-conservation check of \p Profile against \p Proc: shape match,
+/// per-block Kirchhoff balance (inflow == block count for non-entry
+/// blocks; entry absorbs invocation slack; truncated walks may lose
+/// outflow up to Options.TruncationSlack), and overflow screening.
+size_t checkProfileFlow(const Procedure &Proc,
+                        const ProcedureProfile &Profile,
+                        DiagnosticEngine &Diags,
+                        const VerifyOptions &Options = {});
+
+/// Whole-program profile check, including the program/profile arity.
+size_t checkProfileFlow(const Program &Prog, const ProgramProfile &Profile,
+                        DiagnosticEngine &Diags,
+                        const VerifyOptions &Options = {});
+
+//===--------------------------------------------------------------------===//
+// 3. layout-check
+//===--------------------------------------------------------------------===//
+
+/// Legality of \p L for \p Proc: a permutation pinned at the entry, whose
+/// materialization realizes every executed CFG edge (every edge with a
+/// nonzero training count must be reachable as a fall-through, taken
+/// branch, multiway target, or fixup jump), with correct fixup targets
+/// and strictly increasing, gap-free item addresses.
+size_t checkLayout(const Procedure &Proc, const Layout &L,
+                   const ProcedureProfile &Train, const MachineModel &Model,
+                   DiagnosticEngine &Diags);
+
+//===--------------------------------------------------------------------===//
+// 4. matrix-audit
+//===--------------------------------------------------------------------===//
+
+/// Audits the alignment DTSP instance \p Atsp built for \p Proc:
+/// dummy-city row invariants (0 to the entry, EntryPin elsewhere),
+/// non-negative real costs below the pin, EntryPin actually exceeding
+/// the worst-case layout total, and — at VerifyLevel::Full — exactness
+/// of every cell against blockLayoutPenalty and of the DTSP->STSP
+/// transform on locked pairs, real arcs, and a probe tour.
+size_t checkCostMatrix(const Procedure &Proc, const ProcedureProfile &Train,
+                       const MachineModel &Model, const AlignmentTsp &Atsp,
+                       DiagnosticEngine &Diags,
+                       const VerifyOptions &Options = {});
+
+//===--------------------------------------------------------------------===//
+// 5. tour-bounds
+//===--------------------------------------------------------------------===//
+
+/// Checks a solved tour over \p Atsp: validity, agreement of the
+/// reported cost with the instance, no entry-pin leakage into the cost,
+/// and the reduction's central exactness invariant — the tour's walk
+/// cost equals evaluateLayout of the derived layout on the training
+/// profile.
+size_t checkTour(const Procedure &Proc, const ProcedureProfile &Train,
+                 const MachineModel &Model, const AlignmentTsp &Atsp,
+                 const std::vector<City> &Tour, int64_t ReportedCost,
+                 DiagnosticEngine &Diags);
+
+/// Checks lower-bound ordering on the directed penalty scale:
+/// 0 <= HeldKarp <= TspPenalty and 0 <= Assignment <= TspPenalty, where
+/// \p TspPenalty is the best tour's penalty in cycles.
+size_t checkBounds(const Procedure &Proc, const PenaltyBounds &Bounds,
+                   uint64_t TspPenalty, DiagnosticEngine &Diags);
+
+//===--------------------------------------------------------------------===//
+// 6. determinism
+//===--------------------------------------------------------------------===//
+
+/// Replays the matrix-build and solve stages for \p Proc with the same
+/// inputs and seed and diffs the results against the first run's
+/// artifacts. Catches hidden global state, uninitialized reads that
+/// happen to be stable within a run, and order-dependent accumulation.
+size_t checkDeterminism(const Procedure &Proc, const ProcedureProfile &Train,
+                        const MachineModel &Model,
+                        const AlignmentTsp &ExpectedMatrix,
+                        const IteratedOptOptions &SolverOptions,
+                        const std::vector<City> &ExpectedTour,
+                        int64_t ExpectedCost, const Layout &ExpectedLayout,
+                        DiagnosticEngine &Diags);
+
+} // namespace balign
+
+#endif // BALIGN_ANALYSIS_VERIFIER_H

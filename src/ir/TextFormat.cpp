@@ -192,6 +192,11 @@ std::optional<Program> balign::parseProgram(const std::string &Text,
       return std::nullopt;
     }
     std::string ProcName = Tokens[1];
+    for (size_t I = 0; I != Prog.numProcedures(); ++I)
+      if (Prog.proc(I).getName() == ProcName) {
+        P.fail("duplicate procedure '" + ProcName + "'");
+        return std::nullopt;
+      }
     std::vector<PendingBlock> Pending;
     bool Closed = false;
     while (P.nextLine(Tokens)) {

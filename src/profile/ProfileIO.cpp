@@ -108,6 +108,7 @@ balign::parseProgramProfile(const Program &Prog, const std::string &Text,
   for (size_t I = 0; I != Prog.numProcedures(); ++I)
     Profile.Procs.push_back(ProcedureProfile::zeroed(Prog.proc(I)));
 
+  std::vector<bool> ProcSeen(Prog.numProcedures(), false);
   while (P.nextLine(Tokens)) {
     if (Tokens.size() != 3 || Tokens[0] != "proc" || Tokens[2] != "{") {
       P.fail("expected 'proc <name> {'");
@@ -118,6 +119,13 @@ balign::parseProgramProfile(const Program &Prog, const std::string &Text,
       P.fail("unknown procedure '" + Tokens[1] + "'");
       return std::nullopt;
     }
+    // A repeated section would silently overwrite the earlier counts —
+    // the classic concatenated-profiles corruption.
+    if (ProcSeen[ProcIt->second]) {
+      P.fail("duplicate profile section for procedure '" + Tokens[1] + "'");
+      return std::nullopt;
+    }
+    ProcSeen[ProcIt->second] = true;
     const Procedure &Proc = Prog.proc(ProcIt->second);
     ProcedureProfile &PP = Profile.Procs[ProcIt->second];
 
@@ -126,6 +134,7 @@ balign::parseProgramProfile(const Program &Prog, const std::string &Text,
       BlockOf[blockName(Proc, Id)] = Id;
 
     bool Closed = false;
+    std::vector<bool> BlockSeen(Proc.numBlocks(), false);
     while (P.nextLine(Tokens)) {
       if (Tokens.size() == 1 && Tokens[0] == "}") {
         Closed = true;
@@ -143,6 +152,11 @@ balign::parseProgramProfile(const Program &Prog, const std::string &Text,
         return std::nullopt;
       }
       BlockId Id = BlockIt->second;
+      if (BlockSeen[Id]) {
+        P.fail("duplicate stats line for block '" + Name + "'");
+        return std::nullopt;
+      }
+      BlockSeen[Id] = true;
       uint64_t Count = 0;
       if (!parseUInt(Tokens[1], Count)) {
         P.fail("bad block count '" + Tokens[1] + "'");
@@ -151,6 +165,7 @@ balign::parseProgramProfile(const Program &Prog, const std::string &Text,
       PP.BlockCounts[Id] = Count;
 
       const std::vector<BlockId> &Succs = Proc.successors(Id);
+      std::vector<bool> EdgeSeen(Succs.size(), false);
       if (Tokens.size() == 2)
         continue;
       if (Tokens[2] != "->") {
@@ -178,6 +193,11 @@ balign::parseProgramProfile(const Program &Prog, const std::string &Text,
         bool Matched = false;
         for (size_t S = 0; S != Succs.size(); ++S) {
           if (Succs[S] == SuccIt->second) {
+            if (EdgeSeen[S]) {
+              P.fail("duplicate edge count for " + Name + " -> " + SuccName);
+              return std::nullopt;
+            }
+            EdgeSeen[S] = true;
             PP.EdgeCounts[Id][S] = EdgeCount;
             Matched = true;
             break;

@@ -2,6 +2,8 @@
 
 #include "workloads/Workloads.h"
 
+#include "analysis/Verifier.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -226,6 +228,17 @@ WorkloadInstance balign::buildWorkload(const WorkloadSpec &Spec) {
     }
     Instance.DataSets.push_back(std::move(Ds));
   }
+
+  // Self-check through balign-verify: a generated program and its
+  // profiles must satisfy the same invariants the verifier enforces on
+  // external inputs. A generator bug aborts here, at the source, rather
+  // than surfacing as a mysterious downstream alignment failure.
+  DiagnosticEngine Diags;
+  checkCfg(Instance.Prog, Diags);
+  for (const WorkloadDataSet &Ds : Instance.DataSets)
+    checkProfileFlow(Instance.Prog, Ds.Profile, Diags, VerifyOptions());
+  std::string What = "workload generator self-check (" + Spec.Benchmark + ")";
+  reportFatalIfErrors(Diags, What.c_str());
   return Instance;
 }
 

@@ -2,6 +2,7 @@
 
 #include "align/Penalty.h"
 #include "align/Pipeline.h"
+#include "analysis/PipelineVerifier.h"
 #include "sim/Simulator.h"
 #include "workloads/Workloads.h"
 
@@ -26,13 +27,27 @@ WorkloadInstance smallWorkload(const std::string &Name,
   return WorkloadInstance();
 }
 
+/// alignProgram with balign-verify's verify-each hooks enabled:
+/// integration tests always run under full verification, so any
+/// pipeline regression that violates a reduction invariant fails here
+/// even if the aggregate numbers still look plausible.
+ProgramAlignment verifiedAlign(const Program &Prog,
+                               const ProgramProfile &Train,
+                               AlignmentOptions Options) {
+  DiagnosticEngine Diags;
+  ProgramAlignment Result =
+      alignProgramVerified(Prog, Train, Options, Diags, VerifyOptions());
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.renderAll();
+  return Result;
+}
+
 } // namespace
 
 TEST(PipelineTest, OrderingInvariantHoldsOnCom) {
   WorkloadInstance W = smallWorkload("com");
   AlignmentOptions Options;
   ProgramAlignment Result =
-      alignProgram(W.Prog, W.DataSets[0].Profile, Options);
+      verifiedAlign(W.Prog, W.DataSets[0].Profile, Options);
   ASSERT_EQ(Result.Procs.size(), W.Prog.numProcedures());
 
   for (size_t P = 0; P != Result.Procs.size(); ++P) {
@@ -62,7 +77,7 @@ TEST(PipelineTest, SignificantPenaltyReductionOnUnfriendlyCode) {
   AlignmentOptions Options;
   Options.ComputeBounds = false;
   ProgramAlignment Result =
-      alignProgram(W.Prog, W.DataSets[0].Profile, Options);
+      verifiedAlign(W.Prog, W.DataSets[0].Profile, Options);
   double Ratio = static_cast<double>(Result.totalTspPenalty()) /
                  static_cast<double>(Result.totalOriginalPenalty());
   EXPECT_LT(Ratio, 0.7);
@@ -74,7 +89,7 @@ TEST(PipelineTest, CrossValidationDilutesButPreservesBenefit) {
   const ProgramProfile &Test = W.DataSets[1].Profile;
   AlignmentOptions Options;
   Options.ComputeBounds = false;
-  ProgramAlignment Result = alignProgram(W.Prog, Train, Options);
+  ProgramAlignment Result = verifiedAlign(W.Prog, Train, Options);
 
   std::vector<Layout> Tsp = Result.tspLayouts();
   std::vector<Layout> Original = Result.originalLayouts();
@@ -102,7 +117,7 @@ TEST(PipelineTest, StageTimesAccumulated) {
   WorkloadInstance W = smallWorkload("com", 1000);
   AlignmentOptions Options;
   ProgramAlignment Result =
-      alignProgram(W.Prog, W.DataSets[0].Profile, Options);
+      verifiedAlign(W.Prog, W.DataSets[0].Profile, Options);
   EXPECT_GE(Result.SolverSeconds, 0.0);
   EXPECT_GE(Result.GreedySeconds, 0.0);
   EXPECT_GE(Result.MatrixSeconds, 0.0);
@@ -115,7 +130,7 @@ TEST(IntegrationTest, SimulatedTimesFollowPenaltyOrdering) {
   const WorkloadDataSet &Ds = W.DataSets[0];
   AlignmentOptions Options;
   Options.ComputeBounds = false;
-  ProgramAlignment Result = alignProgram(W.Prog, Ds.Profile, Options);
+  ProgramAlignment Result = verifiedAlign(W.Prog, Ds.Profile, Options);
 
   auto simulate = [&](const std::vector<Layout> &Layouts) {
     std::vector<MaterializedLayout> Mats;
@@ -140,7 +155,7 @@ TEST(IntegrationTest, RunsFindingBestStatisticsPopulated) {
   AlignmentOptions Options;
   Options.ComputeBounds = false;
   ProgramAlignment Result =
-      alignProgram(W.Prog, W.DataSets[1].Profile, Options);
+      verifiedAlign(W.Prog, W.DataSets[1].Profile, Options);
   for (const ProcedureAlignment &PA : Result.Procs) {
     EXPECT_GE(PA.SolverRuns, 1u);
     EXPECT_GE(PA.RunsFindingBest, 1u);
