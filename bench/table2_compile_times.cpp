@@ -23,7 +23,10 @@
 #include "BenchCommon.h"
 #include "support/Format.h"
 #include "support/Table.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
+
+#include <fstream>
 
 using namespace balign;
 using namespace balign::bench;
@@ -48,6 +51,85 @@ const PaperRow PaperRows[] = {
 
 } // namespace
 
+namespace {
+
+/// Serial-vs-parallel alignProgram on the largest benchmark: the
+/// scaling lever that decides whether TSP alignment can run on every
+/// build. Emits BENCH_parallel.json so the speedup is a tracked
+/// trajectory point. Determinism is asserted here too: every thread
+/// count must reproduce the serial penalties exactly.
+void runParallelScaling(const WorkloadInstance &W, size_t DataSet) {
+  AlignmentOptions Options;
+  Options.ComputeBounds = false;
+  const ProgramProfile &Profile = W.DataSets[DataSet].Profile;
+
+  std::printf("\n=== Parallel alignment scaling (%s, %zu procedures, "
+              "%u hardware threads) ===\n",
+              W.Spec.Benchmark.c_str(), W.Prog.numProcedures(),
+              ThreadPool::hardwareThreads());
+
+  TextTable T;
+  T.addColumn("threads", TextTable::AlignKind::Right);
+  T.addColumn("wall-s", TextTable::AlignKind::Right);
+  T.addColumn("solver-cpu-s", TextTable::AlignKind::Right);
+  T.addColumn("speedup", TextTable::AlignKind::Right);
+  T.addColumn("identical", TextTable::AlignKind::Right);
+
+  unsigned Hw = ThreadPool::hardwareThreads();
+  std::vector<unsigned> Counts = {1, 2, 4};
+  if (Hw > 4)
+    Counts.push_back(Hw);
+
+  double SerialWall = 0.0;
+  double SerialSolverCpu = 0.0;
+  uint64_t SerialPenalty = 0;
+  double BestSpeedup = 1.0;
+  unsigned BestThreads = 1;
+
+  for (unsigned Threads : Counts) {
+    Options.Threads = Threads;
+    Stopwatch Wall;
+    ProgramAlignment Result = alignProgram(W.Prog, Profile, Options);
+    double WallSeconds = Wall.seconds();
+    bool Identical = true;
+    if (Threads == 1) {
+      SerialWall = WallSeconds;
+      SerialSolverCpu = Result.SolverSeconds;
+      SerialPenalty = Result.totalTspPenalty();
+    } else {
+      Identical = Result.totalTspPenalty() == SerialPenalty;
+    }
+    double Speedup = WallSeconds > 0.0 ? SerialWall / WallSeconds : 1.0;
+    if (Threads > 1 && Speedup > BestSpeedup) {
+      BestSpeedup = Speedup;
+      BestThreads = Threads;
+    }
+    T.addRow({std::to_string(Threads), formatFixed(WallSeconds, 3),
+              formatFixed(Result.SolverSeconds, 3), formatFixed(Speedup, 2),
+              Identical ? "yes" : "NO"});
+    if (!Identical)
+      std::fprintf(stderr,
+                   "error: %u-thread run diverged from the serial run\n",
+                   Threads);
+  }
+  std::printf("%s", T.render().c_str());
+
+  std::ofstream Json("BENCH_parallel.json");
+  Json << "{\n"
+       << "  \"benchmark\": \"" << W.Spec.Benchmark << "\",\n"
+       << "  \"procedures\": " << W.Prog.numProcedures() << ",\n"
+       << "  \"hardware_threads\": " << Hw << ",\n"
+       << "  \"serial_wall_seconds\": " << SerialWall << ",\n"
+       << "  \"serial_solver_cpu_seconds\": " << SerialSolverCpu << ",\n"
+       << "  \"best_speedup\": " << BestSpeedup << ",\n"
+       << "  \"best_speedup_threads\": " << BestThreads << "\n"
+       << "}\n";
+  std::printf("(wrote BENCH_parallel.json; speedup is bounded by the "
+              "machine's %u hardware threads)\n", Hw);
+}
+
+} // namespace
+
 int main() {
   std::printf("=== Table 2: compilation and profiling times (seconds) "
               "===\n");
@@ -64,6 +146,12 @@ int main() {
   T.addColumn("materialize", TextTable::AlignKind::Right);
   T.addColumn("paper solver", TextTable::AlignKind::Right);
   T.addColumn("paper greedy", TextTable::AlignKind::Right);
+
+  // The benchmark with the most solver work hosts the parallel-scaling
+  // study after the table.
+  WorkloadInstance Largest;
+  size_t LargestWorstDs = 0;
+  double LargestSolverSeconds = -1.0;
 
   for (const WorkloadSpec &Spec : benchmarkSuite()) {
     // Time the CFG + data-set construction.
@@ -113,10 +201,18 @@ int main() {
               formatFixed(MaterializeSeconds, 3),
               Paper ? formatFixed(Paper->Solver, 1) : "-",
               Paper ? formatFixed(Paper->Greedy, 1) : "-"});
+
+    if (Result.SolverSeconds > LargestSolverSeconds) {
+      LargestSolverSeconds = Result.SolverSeconds;
+      Largest = std::move(W);
+      LargestWorstDs = Worst;
+    }
   }
   std::printf("%s\n", T.render().c_str());
   std::printf("shape check: the TSP solver should be the most expensive "
               "alignment stage,\nyet comparable to the rest of the "
               "toolchain — as in the paper.\n");
+
+  runParallelScaling(Largest, LargestWorstDs);
   return 0;
 }

@@ -8,7 +8,7 @@
 //
 // Usage:
 //   align_tool <program.cfg> [--aligner greedy|tsp|cg|original]
-//              [--budget N] [--seed N] [--dot] [--bounds]
+//              [--budget N] [--seed N] [--threads N] [--dot] [--bounds]
 //              [--profile FILE] [--emit-profile FILE]
 //
 // With no file argument a built-in demo program is used, so the tool is
@@ -66,6 +66,7 @@ struct ToolOptions {
   std::string EmitProfileFile; ///< Dump the counts used.
   uint64_t Budget = 50000;
   uint64_t Seed = 1;
+  unsigned Threads = 1; ///< Pipeline workers; 0 = hardware concurrency.
   bool EmitDot = false;
   bool ComputeBounds = false;
   VerifyLevel Verify = VerifyLevel::None;
@@ -96,6 +97,18 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Options) {
       if (!V)
         return false;
       Options.Seed = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--threads") {
+      const char *V = needValue("--threads");
+      if (!V)
+        return false;
+      // 0 legitimately means "all hardware threads", so garbage must not
+      // silently parse to it the way it would with a null endptr.
+      char *End = nullptr;
+      Options.Threads = static_cast<unsigned>(std::strtoul(V, &End, 10));
+      if (End == V || *End != '\0') {
+        std::fprintf(stderr, "error: --threads wants a number, got '%s'\n", V);
+        return false;
+      }
     } else if (Arg == "--profile") {
       const char *V = needValue("--profile");
       if (!V)
@@ -124,8 +137,13 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Options) {
     } else if (Arg == "--help" || Arg == "-h") {
       std::printf("usage: align_tool [file.cfg] [--aligner "
                   "greedy|tsp|cg|original] [--budget N] [--seed N] "
-                  "[--dot] [--bounds] [--verify[=quick|full|none]] "
-                  "[--profile FILE] [--emit-profile FILE]\n");
+                  "[--threads N] [--dot] [--bounds] "
+                  "[--verify[=quick|full|none]] "
+                  "[--profile FILE] [--emit-profile FILE]\n"
+                  "  --threads N   pipeline worker threads for --verify's "
+                  "full alignment\n                (0 = all hardware "
+                  "threads, 1 = serial; results are\n                "
+                  "identical at every setting)\n");
       return false;
     } else if (!Arg.empty() && Arg[0] != '-') {
       Options.File = Arg;
@@ -267,6 +285,7 @@ int main(int Argc, char **Argv) {
     AlignOptions.Model = Model;
     AlignOptions.Solver.Seed = Options.Seed;
     AlignOptions.ComputeBounds = true;
+    AlignOptions.Threads = Options.Threads;
     alignProgramVerified(*Prog, Counts, AlignOptions, Diags, Verify);
     std::printf("verify (%s): %s\n",
                 Options.Verify == VerifyLevel::Full ? "full" : "quick",

@@ -4,6 +4,7 @@
 
 #include "align/Penalty.h"
 #include "analysis/Diagnostics.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 
 using namespace balign;
@@ -81,17 +82,107 @@ std::vector<Layout> ProgramAlignment::tspLayouts() const {
   return Result;
 }
 
+namespace {
+
+/// Everything one procedure's alignment produces, including the stage
+/// artifacts the hooks observe and the per-stage CPU time the worker
+/// spent on it. Kept per-procedure (not accumulated into shared state)
+/// so parallel workers never write to the same location and the drain
+/// loop can replay hooks and sum timers in program order.
+struct ProcedureTask {
+  ProcedureAlignment PA;
+
+  double GreedySeconds = 0.0;
+  double MatrixSeconds = 0.0;
+  double SolverSeconds = 0.0;
+  double BoundsSeconds = 0.0;
+
+  /// Hook payloads; only retained (and only meaningful) for profiled
+  /// procedures when some hook is installed.
+  bool RanSolver = false;
+  AlignmentTsp Atsp;
+  DtspSolution Solution;
+  IteratedOptOptions SolverOptions;
+};
+
+/// Runs every stage for procedure \p I. Pure function of its arguments:
+/// reads only shared-immutable inputs, writes only the returned task, so
+/// any number of calls may run concurrently. \p KeepArtifacts retains
+/// the matrix/solution for the hook drain.
+ProcedureTask alignOneProcedure(const Procedure &Proc,
+                                const ProcedureProfile &Profile,
+                                const AlignmentOptions &Options, size_t I,
+                                bool KeepArtifacts) {
+  ProcedureTask Task;
+  ProcedureAlignment &PA = Task.PA;
+
+  PA.OriginalLayout = Layout::original(Proc);
+  PA.OriginalPenalty = evaluateLayout(Proc, PA.OriginalLayout, Options.Model,
+                                      Profile, Profile);
+
+  // Unprofiled procedures are left alone, as a profile-guided compiler
+  // leaves untouched code in place; rearranging on a zero-cost matrix
+  // would pick an arbitrary (and, under a different input, possibly
+  // terrible) permutation.
+  if (Profile.executedBranches(Proc) == 0) {
+    PA.GreedyLayout = PA.OriginalLayout;
+    PA.TspLayout = PA.OriginalLayout;
+    return Task;
+  }
+
+  CpuStopwatch GreedyTimer;
+  PA.GreedyLayout = GreedyAligner().align(Proc, Profile, Options.Model);
+  Task.GreedySeconds = GreedyTimer.seconds();
+  PA.GreedyPenalty = evaluateLayout(Proc, PA.GreedyLayout, Options.Model,
+                                    Profile, Profile);
+
+  CpuStopwatch MatrixTimer;
+  AlignmentTsp Atsp = buildAlignmentTsp(Proc, Profile, Options.Model);
+  Task.MatrixSeconds = MatrixTimer.seconds();
+
+  CpuStopwatch SolverTimer;
+  // Give each procedure a solver stream derived from the root seed so
+  // results do not depend on procedure processing order — this is what
+  // makes parallel and serial runs bit-identical.
+  IteratedOptOptions SolverOptions = Options.Solver;
+  SolverOptions.Seed = Options.Solver.Seed + 0x9e3779b9u * (I + 1);
+  DtspSolution Solution = solveDirectedTsp(Atsp.Tsp, SolverOptions);
+  Task.SolverSeconds = SolverTimer.seconds();
+
+  PA.TspLayout = layoutFromTour(Proc, Atsp, Solution.Tour);
+  PA.TspPenalty = evaluateLayout(Proc, PA.TspLayout, Options.Model, Profile,
+                                 Profile);
+  PA.SolverRuns = Solution.NumRuns;
+  PA.RunsFindingBest = Solution.RunsFindingBest;
+
+  if (Options.ComputeBounds) {
+    CpuStopwatch BoundsTimer;
+    PA.Bounds = computePenaltyBounds(Proc, Profile, Options.Model,
+                                     PA.TspPenalty, Options.HeldKarp);
+    Task.BoundsSeconds = BoundsTimer.seconds();
+  }
+
+  Task.RanSolver = true;
+  if (KeepArtifacts) {
+    Task.Atsp = std::move(Atsp);
+    Task.Solution = std::move(Solution);
+    Task.SolverOptions = SolverOptions;
+  }
+  return Task;
+}
+
+} // namespace
+
 ProgramAlignment balign::alignProgram(const Program &Prog,
                                       const ProgramProfile &Train,
                                       const AlignmentOptions &Options) {
   if (Train.Procs.size() != Prog.numProcedures())
     fatalArityMismatch(CheckId::PipelineProfileArity, "training profile",
                        Train.Procs.size(), Prog.numProcedures());
-  ProgramAlignment Result;
-  Result.Procs.reserve(Prog.numProcedures());
-  GreedyAligner Greedy;
-
-  for (size_t I = 0; I != Prog.numProcedures(); ++I) {
+  size_t NumProcs = Prog.numProcedures();
+  // Shape-check every procedure up front (and on the calling thread, so
+  // the fatal diagnostic never races a worker).
+  for (size_t I = 0; I != NumProcs; ++I) {
     const Procedure &Proc = Prog.proc(I);
     const ProcedureProfile &Profile = Train.Procs[I];
     if (Profile.BlockCounts.size() != Proc.numBlocks())
@@ -101,63 +192,50 @@ ProgramAlignment balign::alignProgram(const Program &Prog,
           "profile covers " + std::to_string(Profile.BlockCounts.size()) +
               " blocks but the procedure has " +
               std::to_string(Proc.numBlocks())});
-    ProcedureAlignment PA;
+  }
 
-    PA.OriginalLayout = Layout::original(Proc);
-    PA.OriginalPenalty = evaluateLayout(Proc, PA.OriginalLayout,
-                                        Options.Model, Profile, Profile);
+  const PipelineStageHooks &Hooks = Options.Hooks;
+  bool KeepArtifacts = static_cast<bool>(Hooks.AfterMatrix) ||
+                       static_cast<bool>(Hooks.AfterSolve);
+  std::vector<ProcedureTask> Tasks(NumProcs);
 
-    // Unprofiled procedures are left alone, as a profile-guided compiler
-    // leaves untouched code in place; rearranging on a zero-cost matrix
-    // would pick an arbitrary (and, under a different input, possibly
-    // terrible) permutation.
-    if (Profile.executedBranches(Proc) == 0) {
-      PA.GreedyLayout = PA.OriginalLayout;
-      PA.TspLayout = PA.OriginalLayout;
-      Result.Procs.push_back(std::move(PA));
-      if (Options.Hooks.AfterProcedure)
-        Options.Hooks.AfterProcedure(I, Proc, Profile, Result.Procs.back());
-      continue;
+  unsigned Threads =
+      Options.Threads == 0 ? ThreadPool::hardwareThreads() : Options.Threads;
+  if (Threads <= 1 || NumProcs <= 1) {
+    for (size_t I = 0; I != NumProcs; ++I)
+      Tasks[I] = alignOneProcedure(Prog.proc(I), Train.Procs[I], Options, I,
+                                   KeepArtifacts);
+  } else {
+    ThreadPool Pool(Threads);
+    parallelFor(Pool, 0, NumProcs, [&](size_t I) {
+      Tasks[I] = alignOneProcedure(Prog.proc(I), Train.Procs[I], Options, I,
+                                   KeepArtifacts);
+    });
+  }
+
+  // Drain in program order on the calling thread: aggregate the CPU-time
+  // stage counters (fixed summation order, so the totals do not depend
+  // on scheduling) and replay the stage hooks exactly as the serial
+  // pipeline of one procedure would fire them.
+  ProgramAlignment Result;
+  Result.Procs.reserve(NumProcs);
+  for (size_t I = 0; I != NumProcs; ++I) {
+    ProcedureTask &Task = Tasks[I];
+    Result.GreedySeconds += Task.GreedySeconds;
+    Result.MatrixSeconds += Task.MatrixSeconds;
+    Result.SolverSeconds += Task.SolverSeconds;
+    Result.BoundsSeconds += Task.BoundsSeconds;
+    if (Task.RanSolver && KeepArtifacts) {
+      if (Hooks.AfterMatrix)
+        Hooks.AfterMatrix(I, Prog.proc(I), Train.Procs[I], Task.Atsp);
+      if (Hooks.AfterSolve)
+        Hooks.AfterSolve(I, Prog.proc(I), Train.Procs[I], Task.Atsp,
+                         Task.Solution, Task.SolverOptions);
     }
-
-    Stopwatch GreedyTimer;
-    PA.GreedyLayout = Greedy.align(Proc, Profile, Options.Model);
-    Result.GreedySeconds += GreedyTimer.seconds();
-    PA.GreedyPenalty = evaluateLayout(Proc, PA.GreedyLayout, Options.Model,
-                                      Profile, Profile);
-
-    Stopwatch MatrixTimer;
-    AlignmentTsp Atsp = buildAlignmentTsp(Proc, Profile, Options.Model);
-    Result.MatrixSeconds += MatrixTimer.seconds();
-    if (Options.Hooks.AfterMatrix)
-      Options.Hooks.AfterMatrix(I, Proc, Profile, Atsp);
-
-    Stopwatch SolverTimer;
-    // Give each procedure a solver stream derived from the root seed so
-    // results do not depend on procedure processing order.
-    IteratedOptOptions SolverOptions = Options.Solver;
-    SolverOptions.Seed = Options.Solver.Seed + 0x9e3779b9u * (I + 1);
-    DtspSolution Solution = solveDirectedTsp(Atsp.Tsp, SolverOptions);
-    Result.SolverSeconds += SolverTimer.seconds();
-    if (Options.Hooks.AfterSolve)
-      Options.Hooks.AfterSolve(I, Proc, Profile, Atsp, Solution,
-                               SolverOptions);
-
-    PA.TspLayout = layoutFromTour(Proc, Atsp, Solution.Tour);
-    PA.TspPenalty = evaluateLayout(Proc, PA.TspLayout, Options.Model,
-                                   Profile, Profile);
-    PA.SolverRuns = Solution.NumRuns;
-    PA.RunsFindingBest = Solution.RunsFindingBest;
-
-    if (Options.ComputeBounds) {
-      Stopwatch BoundsTimer;
-      PA.Bounds = computePenaltyBounds(Proc, Profile, Options.Model,
-                                       PA.TspPenalty, Options.HeldKarp);
-      Result.BoundsSeconds += BoundsTimer.seconds();
-    }
-    Result.Procs.push_back(std::move(PA));
-    if (Options.Hooks.AfterProcedure)
-      Options.Hooks.AfterProcedure(I, Proc, Profile, Result.Procs.back());
+    Result.Procs.push_back(std::move(Task.PA));
+    if (Hooks.AfterProcedure)
+      Hooks.AfterProcedure(I, Prog.proc(I), Train.Procs[I],
+                           Result.Procs.back());
   }
   return Result;
 }

@@ -8,9 +8,11 @@
 /// Drives the full toolchain over a program: for every procedure, builds
 /// the original/greedy/TSP layouts, evaluates their control penalties on
 /// the training profile, and (optionally) computes the Held-Karp and
-/// Assignment lower bounds. Stage wall-clock times are recorded so the
-/// Table 2 harness can report the compile-time cost of each phase the
-/// way the paper does.
+/// Assignment lower bounds. Procedures are independent, so the driver
+/// can farm them out to a work-stealing thread pool
+/// (AlignmentOptions::Threads) with bit-identical results. Per-stage
+/// CPU-seconds are recorded so the Table 2 harness can report the
+/// compile-time cost of each phase the way the paper does.
 ///
 //===--------------------------------------------------------------------===//
 
@@ -35,11 +37,21 @@ struct ProcedureAlignment;
 
 /// Observation points the pipeline exposes for verification
 /// instrumentation (the -verify-each idea): each callback, when set,
-/// fires synchronously after the named stage with the stage's inputs
-/// and freshly produced artifact. The pipeline itself never inspects
-/// the callbacks' behavior, so instrumentation cannot change results —
+/// fires after the named stage with the stage's inputs and freshly
+/// produced artifact. The pipeline itself never inspects the callbacks'
+/// behavior, so instrumentation cannot change results —
 /// analysis/PipelineVerifier.h installs the balign-verify passes here
 /// without the align library depending on them.
+///
+/// Serialization contract: callbacks always run on the thread that
+/// called alignProgram, never concurrently, in program order, and the
+/// three callbacks of one procedure fire consecutively
+/// (AfterMatrix, AfterSolve, AfterProcedure). Under
+/// AlignmentOptions::Threads > 1 the per-procedure stage artifacts are
+/// buffered in a drain queue and replayed in that order once the
+/// parallel region completes, so hooks written for the serial pipeline
+/// (including stateful ones like PipelineVerifier's per-procedure
+/// cache) work unchanged at any thread count.
 struct PipelineStageHooks {
   /// After the DTSP instance of a profiled procedure is built.
   std::function<void(size_t ProcIndex, const Procedure &Proc,
@@ -70,6 +82,15 @@ struct AlignmentOptions {
   HeldKarpOptions HeldKarp;
   bool ComputeBounds = true;
 
+  /// Worker threads for the per-procedure stages (greedy, matrix build,
+  /// DTSP solve, bounds): 1 runs everything on the calling thread, 0
+  /// uses one worker per hardware thread, any other value that many
+  /// workers. Results are bit-identical for every setting — each
+  /// procedure's solver stream is derived from the root seed, not from
+  /// scheduling — and hooks always fire on the calling thread, in
+  /// program order (see PipelineStageHooks).
+  unsigned Threads = 1;
+
   /// Verification instrumentation; empty (and free) by default.
   PipelineStageHooks Hooks;
 };
@@ -93,6 +114,12 @@ struct ProcedureAlignment {
 struct ProgramAlignment {
   std::vector<ProcedureAlignment> Procs;
 
+  /// Per-stage timing, in CPU-seconds: the sum over procedures of the
+  /// wall-clock time that procedure's stage took on whichever worker ran
+  /// it, accumulated in program order. Under Threads == 1 this equals
+  /// stage wall-clock time; under parallelism it keeps Table 2's "work
+  /// per stage" meaning while wall-clock time shrinks with the worker
+  /// count.
   double GreedySeconds = 0.0;
   double MatrixSeconds = 0.0;
   double SolverSeconds = 0.0;

@@ -14,6 +14,13 @@
 /// The verifier must outlive the alignProgram call it instruments (the
 /// installed callbacks capture `this`).
 ///
+/// The verifier is deliberately single-threaded: the pipeline's hook
+/// contract (Pipeline.h) guarantees callbacks fire serialized on the
+/// calling thread, in program order, with one procedure's three events
+/// consecutive — even when AlignmentOptions::Threads parallelizes the
+/// stage computations — so the per-procedure StageCache below needs no
+/// locking at any thread count.
+///
 //===--------------------------------------------------------------------===//
 
 #ifndef BALIGN_ANALYSIS_PIPELINEVERIFIER_H

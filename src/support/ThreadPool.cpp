@@ -1,0 +1,155 @@
+//===- support/ThreadPool.cpp ---------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <cassert>
+
+using namespace balign;
+
+namespace {
+
+/// Identifies the pool (and worker slot) the current thread belongs to,
+/// so nested submit() calls can push to the submitting worker's own
+/// deque instead of round-robining through a cold queue.
+thread_local ThreadPool *CurrentPool = nullptr;
+thread_local size_t CurrentWorker = 0;
+
+} // namespace
+
+unsigned ThreadPool::hardwareThreads() {
+  unsigned H = std::thread::hardware_concurrency();
+  return H != 0 ? H : 1u;
+}
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  unsigned N = NumThreads != 0 ? NumThreads : hardwareThreads();
+  Queues.reserve(N);
+  for (unsigned I = 0; I != N; ++I)
+    Queues.push_back(std::make_unique<WorkerQueue>());
+  Workers.reserve(N);
+  for (unsigned I = 0; I != N; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+// NOLINTNEXTLINE(bugprone-exception-escape): join() throws only for
+// self-join or joining a detached thread, neither of which the pool's
+// fixed worker set can produce.
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Guard(StateMutex);
+    Stopping = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(Task T) {
+  assert(T && "submitted an empty task");
+  size_t Target;
+  bool Nested = CurrentPool == this;
+  {
+    std::lock_guard<std::mutex> Guard(StateMutex);
+    assert(!Stopping && "submit after destruction began");
+    ++QueuedTasks;
+    Target = Nested ? CurrentWorker : NextQueue++ % Queues.size();
+  }
+  {
+    std::lock_guard<std::mutex> Guard(Queues[Target]->M);
+    if (Nested)
+      Queues[Target]->Q.push_front(std::move(T));
+    else
+      Queues[Target]->Q.push_back(std::move(T));
+  }
+  WorkAvailable.notify_one();
+}
+
+bool ThreadPool::tryRunOneTask(size_t SelfIndex) {
+  Task T;
+  bool Claimed = false;
+  // Own deque first (front: most recently pushed nested work, LIFO).
+  {
+    std::lock_guard<std::mutex> Guard(Queues[SelfIndex]->M);
+    if (!Queues[SelfIndex]->Q.empty()) {
+      T = std::move(Queues[SelfIndex]->Q.front());
+      Queues[SelfIndex]->Q.pop_front();
+      Claimed = true;
+    }
+  }
+  // Steal from the back of a victim's deque (FIFO: the oldest work, the
+  // piece the victim is least likely to want next).
+  for (size_t Step = 1; !Claimed && Step != Queues.size(); ++Step) {
+    size_t Victim = (SelfIndex + Step) % Queues.size();
+    std::lock_guard<std::mutex> Guard(Queues[Victim]->M);
+    if (!Queues[Victim]->Q.empty()) {
+      T = std::move(Queues[Victim]->Q.back());
+      Queues[Victim]->Q.pop_back();
+      Claimed = true;
+    }
+  }
+  if (!Claimed)
+    return false;
+
+  {
+    std::lock_guard<std::mutex> Guard(StateMutex);
+    --QueuedTasks;
+    ++RunningTasks;
+  }
+  try {
+    T();
+  } catch (...) {
+    std::lock_guard<std::mutex> Guard(StateMutex);
+    if (!FirstError)
+      FirstError = std::current_exception();
+  }
+  bool Drained;
+  {
+    std::lock_guard<std::mutex> Guard(StateMutex);
+    --RunningTasks;
+    Drained = QueuedTasks == 0 && RunningTasks == 0;
+  }
+  if (Drained)
+    AllDone.notify_all();
+  return true;
+}
+
+void ThreadPool::workerLoop(size_t Index) {
+  CurrentPool = this;
+  CurrentWorker = Index;
+  while (true) {
+    if (tryRunOneTask(Index))
+      continue;
+    std::unique_lock<std::mutex> Lock(StateMutex);
+    if (QueuedTasks > 0) {
+      // A submit announced work we could not find yet (its push may still
+      // be in flight) or another worker grabbed it; rescan.
+      Lock.unlock();
+      std::this_thread::yield();
+      continue;
+    }
+    if (Stopping)
+      break;
+    WorkAvailable.wait(Lock);
+  }
+  CurrentPool = nullptr;
+}
+
+void ThreadPool::wait() {
+  assert(CurrentPool != this && "wait() called from a pool worker");
+  std::unique_lock<std::mutex> Lock(StateMutex);
+  AllDone.wait(Lock,
+               [this] { return QueuedTasks == 0 && RunningTasks == 0; });
+  if (FirstError) {
+    std::exception_ptr E = FirstError;
+    FirstError = nullptr;
+    Lock.unlock();
+    std::rethrow_exception(E);
+  }
+}
+
+void balign::parallelFor(ThreadPool &Pool, size_t Begin, size_t End,
+                         const std::function<void(size_t)> &Fn) {
+  for (size_t I = Begin; I < End; ++I)
+    Pool.submit([&Fn, I] { Fn(I); });
+  Pool.wait();
+}

@@ -1,0 +1,102 @@
+//===- support/ThreadPool.h - Work-stealing thread pool -------------------===//
+//
+// Part of the balign project (PLDI 1997 branch-alignment reproduction).
+//
+//===--------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool for the per-procedure parallelism of
+/// the alignment pipeline. Each worker owns a deque: tasks submitted from
+/// a worker go to the front of its own deque (LIFO, for locality), tasks
+/// submitted from outside are distributed round-robin, and an idle worker
+/// steals from the back of a victim's deque. The pool never affects
+/// algorithmic results — it only decides *where* independent per-procedure
+/// work runs; all randomness stays in per-procedure seeded streams.
+///
+/// Exceptions thrown by tasks are captured; the first one is rethrown by
+/// wait() (the rest are dropped), so a reportFatal raised on a worker
+/// surfaces on the submitting thread.
+///
+//===--------------------------------------------------------------------===//
+
+#ifndef BALIGN_SUPPORT_THREADPOOL_H
+#define BALIGN_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace balign {
+
+/// Fixed-size work-stealing thread pool.
+class ThreadPool {
+public:
+  using Task = std::function<void()>;
+
+  /// Creates a pool with \p NumThreads workers; 0 means one worker per
+  /// hardware thread (hardwareThreads()).
+  explicit ThreadPool(unsigned NumThreads = 0);
+
+  /// Drains all submitted tasks, then joins the workers. Exceptions left
+  /// unclaimed by wait() are discarded.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Number of worker threads.
+  unsigned numWorkers() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Enqueues \p T. Safe to call from worker threads (nested submission
+  /// pushes to the submitting worker's own deque).
+  void submit(Task T);
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception any task raised (if one did). Must be called from
+  /// outside the pool's workers.
+  void wait();
+
+  /// max(1, std::thread::hardware_concurrency()).
+  static unsigned hardwareThreads();
+
+private:
+  struct WorkerQueue {
+    std::mutex M;
+    std::deque<Task> Q;
+  };
+
+  void workerLoop(size_t Index);
+  bool tryRunOneTask(size_t SelfIndex);
+
+  std::vector<std::unique_ptr<WorkerQueue>> Queues;
+  std::vector<std::thread> Workers;
+
+  /// Guards sleeping/wakeup and completion signalling.
+  std::mutex StateMutex;
+  std::condition_variable WorkAvailable;
+  std::condition_variable AllDone;
+
+  size_t QueuedTasks = 0;   ///< Tasks sitting in some deque.
+  size_t RunningTasks = 0;  ///< Tasks currently executing.
+  size_t NextQueue = 0;     ///< Round-robin cursor for external submits.
+  bool Stopping = false;
+
+  std::exception_ptr FirstError;
+};
+
+/// Runs Fn(I) for every I in [Begin, End) on \p Pool and waits for all of
+/// them (rethrowing the first task exception). Results must be written to
+/// index-addressed storage by the callback; that is what keeps parallel
+/// execution order-independent.
+void parallelFor(ThreadPool &Pool, size_t Begin, size_t End,
+                 const std::function<void(size_t)> &Fn);
+
+} // namespace balign
+
+#endif // BALIGN_SUPPORT_THREADPOOL_H

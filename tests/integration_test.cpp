@@ -41,6 +41,35 @@ ProgramAlignment verifiedAlign(const Program &Prog,
   return Result;
 }
 
+/// Field-by-field bit-identity of two whole-program alignments: layouts,
+/// penalties, bounds, and solver statistics. Stage timers are excluded —
+/// they measure the clock, not the result.
+void expectAlignmentsIdentical(const ProgramAlignment &A,
+                               const ProgramAlignment &B,
+                               const std::string &What) {
+  ASSERT_EQ(A.Procs.size(), B.Procs.size()) << What;
+  for (size_t P = 0; P != A.Procs.size(); ++P) {
+    const ProcedureAlignment &PA = A.Procs[P];
+    const ProcedureAlignment &PB = B.Procs[P];
+    EXPECT_EQ(PA.OriginalLayout.Order, PB.OriginalLayout.Order)
+        << What << " proc " << P;
+    EXPECT_EQ(PA.GreedyLayout.Order, PB.GreedyLayout.Order)
+        << What << " proc " << P;
+    EXPECT_EQ(PA.TspLayout.Order, PB.TspLayout.Order)
+        << What << " proc " << P;
+    EXPECT_EQ(PA.OriginalPenalty, PB.OriginalPenalty) << What << " proc " << P;
+    EXPECT_EQ(PA.GreedyPenalty, PB.GreedyPenalty) << What << " proc " << P;
+    EXPECT_EQ(PA.TspPenalty, PB.TspPenalty) << What << " proc " << P;
+    EXPECT_EQ(PA.Bounds.HeldKarp, PB.Bounds.HeldKarp) << What << " proc " << P;
+    EXPECT_EQ(PA.Bounds.Assignment, PB.Bounds.Assignment)
+        << What << " proc " << P;
+    EXPECT_EQ(PA.Bounds.AssignmentCycles, PB.Bounds.AssignmentCycles)
+        << What << " proc " << P;
+    EXPECT_EQ(PA.SolverRuns, PB.SolverRuns) << What << " proc " << P;
+    EXPECT_EQ(PA.RunsFindingBest, PB.RunsFindingBest) << What << " proc " << P;
+  }
+}
+
 } // namespace
 
 TEST(PipelineTest, OrderingInvariantHoldsOnCom) {
@@ -148,6 +177,54 @@ TEST(IntegrationTest, SimulatedTimesFollowPenaltyOrdering) {
   // Simulated penalties equal evaluator penalties (whole-program scale).
   EXPECT_EQ(Orig.ControlPenaltyCycles, Result.totalOriginalPenalty());
   EXPECT_EQ(Tsp.ControlPenaltyCycles, Result.totalTspPenalty());
+}
+
+/// The determinism matrix (tentpole contract): every benchmark of the
+/// suite aligned at Threads in {1, 2, 8} — serial path, real
+/// parallelism, and more workers than this machine has cores — must
+/// produce bit-identical alignments, bounds included.
+TEST(PipelineTest, ThreadCountNeverChangesResults) {
+  bool BoundsChecked = false;
+  for (const WorkloadSpec &Spec : benchmarkSuite()) {
+    WorkloadInstance W = smallWorkload(Spec.Benchmark, /*BudgetCap=*/800);
+    AlignmentOptions Options;
+    // Bound determinism is covered once (Held-Karp subgradient descent is
+    // the most expensive stage by far); layouts/penalties/statistics are
+    // compared on every benchmark.
+    Options.ComputeBounds = !BoundsChecked;
+    BoundsChecked = true;
+    Options.Threads = 1;
+    ProgramAlignment Serial =
+        alignProgram(W.Prog, W.DataSets[0].Profile, Options);
+    for (unsigned Threads : {2u, 8u}) {
+      Options.Threads = Threads;
+      ProgramAlignment Parallel =
+          alignProgram(W.Prog, W.DataSets[0].Profile, Options);
+      expectAlignmentsIdentical(Serial, Parallel,
+                                Spec.Benchmark + " threads=" +
+                                    std::to_string(Threads));
+    }
+  }
+}
+
+/// Verify hooks (the stateful PipelineVerifier, with its per-procedure
+/// stage cache) must see a coherent, serialized event stream at any
+/// thread count — and instrumentation must not change results.
+TEST(PipelineTest, ThreadedRunIdenticalUnderVerifyHooks) {
+  WorkloadInstance W = smallWorkload("com", /*BudgetCap=*/2000);
+  AlignmentOptions Options;
+  ProgramAlignment Serial =
+      alignProgram(W.Prog, W.DataSets[0].Profile, Options);
+  for (unsigned Threads : {1u, 8u}) {
+    AlignmentOptions Instrumented;
+    Instrumented.Threads = Threads;
+    DiagnosticEngine Diags;
+    ProgramAlignment Result = alignProgramVerified(
+        W.Prog, W.DataSets[0].Profile, Instrumented, Diags, VerifyOptions());
+    EXPECT_FALSE(Diags.hasErrors()) << Diags.renderAll();
+    expectAlignmentsIdentical(Serial, Result,
+                              "verified threads=" + std::to_string(Threads));
+  }
 }
 
 TEST(IntegrationTest, RunsFindingBestStatisticsPopulated) {

@@ -115,6 +115,68 @@ TEST(PipelineUnitTest, EvaluateProgramPenaltySums) {
   EXPECT_EQ(Sum, Manual);
 }
 
+/// Stage timers must report summed per-procedure CPU time: on a program
+/// where every stage (greedy, matrix, solver, bounds) actually ran, all
+/// four accumulators are strictly positive — serial and parallel alike.
+TEST(PipelineUnitTest, StageTimesPositiveOnProfiledProgram) {
+  Program Prog = twoProcs(29);
+  ProgramProfile Train;
+  for (int P = 0; P != 2; ++P) {
+    Rng TraceRng(41 + P);
+    TraceGenOptions TraceOptions;
+    TraceOptions.BranchBudget = 500;
+    Train.Procs.push_back(collectProfile(
+        Prog.proc(P), generateTrace(Prog.proc(P),
+                                    BranchBehavior::uniform(Prog.proc(P)),
+                                    TraceRng, TraceOptions)));
+  }
+  for (unsigned Threads : {1u, 4u}) {
+    AlignmentOptions Options;
+    Options.ComputeBounds = true;
+    Options.Threads = Threads;
+    ProgramAlignment Result = alignProgram(Prog, Train, Options);
+    EXPECT_GT(Result.GreedySeconds, 0.0) << "threads=" << Threads;
+    EXPECT_GT(Result.MatrixSeconds, 0.0) << "threads=" << Threads;
+    EXPECT_GT(Result.SolverSeconds, 0.0) << "threads=" << Threads;
+    EXPECT_GT(Result.BoundsSeconds, 0.0) << "threads=" << Threads;
+  }
+}
+
+/// Thread counts beyond the procedure count (and 0 = hardware default)
+/// are safe and change nothing.
+TEST(PipelineUnitTest, OversubscribedAndDefaultThreadCountsIdentical) {
+  Program Prog = twoProcs(37);
+  ProgramProfile Train;
+  for (int P = 0; P != 2; ++P) {
+    Rng TraceRng(51 + P);
+    TraceGenOptions TraceOptions;
+    TraceOptions.BranchBudget = 300;
+    Train.Procs.push_back(collectProfile(
+        Prog.proc(P), generateTrace(Prog.proc(P),
+                                    BranchBehavior::uniform(Prog.proc(P)),
+                                    TraceRng, TraceOptions)));
+  }
+  AlignmentOptions Options;
+  Options.ComputeBounds = false;
+  Options.Threads = 1;
+  ProgramAlignment Serial = alignProgram(Prog, Train, Options);
+  for (unsigned Threads : {0u, 16u}) {
+    Options.Threads = Threads;
+    ProgramAlignment Other = alignProgram(Prog, Train, Options);
+    ASSERT_EQ(Other.Procs.size(), Serial.Procs.size());
+    for (size_t P = 0; P != Serial.Procs.size(); ++P) {
+      EXPECT_EQ(Other.Procs[P].TspLayout.Order,
+                Serial.Procs[P].TspLayout.Order)
+          << "threads=" << Threads;
+      EXPECT_EQ(Other.Procs[P].GreedyLayout.Order,
+                Serial.Procs[P].GreedyLayout.Order)
+          << "threads=" << Threads;
+      EXPECT_EQ(Other.Procs[P].TspPenalty, Serial.Procs[P].TspPenalty)
+          << "threads=" << Threads;
+    }
+  }
+}
+
 /// Kick-seeded restarts must not regress solution quality on small
 /// instances: still exactly optimal (cross-checked in tsp_solver_test
 /// against DP); here we check the restart path at least matches the

@@ -1,0 +1,193 @@
+//===- tests/solver_oracle_test.cpp - Differential oracle for the solver ------===//
+//
+// Differential testing of iterated 3-Opt against the exact Held-Karp DP
+// (tsp/Exact.h) on every small instance we can afford to enumerate: the
+// paper claims near-optimality, and on N <= 10 the protocol-default
+// solver must be *exactly* optimal. Families cover the shapes that
+// historically break local search: heavy asymmetry (the directed ->
+// symmetric transform must preserve orientation), big-M "needle"
+// instances (one cheap Hamiltonian cycle hidden among forbidden-grade
+// costs), and all-ties instances (the canonical start must win so
+// compiler order is kept).
+//
+// The effort ladder relies on a structural property of solveDirectedTsp:
+// per-run RNG streams are forked from the root seed in run order, so a
+// config that only *appends* runs (more greedy/NN starts) or *extends*
+// runs (more kicks per run) preserves every earlier run's trajectory as
+// a prefix. Under that discipline more effort can never worsen the
+// result, and the test asserts it.
+//
+//===--------------------------------------------------------------------===//
+
+#include "support/Random.h"
+#include "tsp/Construct.h"
+#include "tsp/Exact.h"
+#include "tsp/Instance.h"
+#include "tsp/IteratedOpt.h"
+
+#include <gtest/gtest.h>
+
+using namespace balign;
+
+namespace {
+
+/// Uniform random directed instance with costs in [0, MaxCost).
+DirectedTsp randomInstance(size_t N, uint64_t MaxCost, Rng &R) {
+  DirectedTsp D(N);
+  for (City I = 0; I != N; ++I)
+    for (City J = 0; J != N; ++J)
+      if (I != J)
+        D.setCost(I, J, static_cast<int64_t>(R.nextBelow(MaxCost)));
+  return D;
+}
+
+/// Strongly asymmetric: each unordered pair gets one cheap and one
+/// expensive direction, so a solver that loses orientation information
+/// in the symmetric transform pays immediately.
+DirectedTsp asymmetricInstance(size_t N, Rng &R) {
+  DirectedTsp D(N);
+  for (City I = 0; I != N; ++I)
+    for (City J = static_cast<City>(I + 1); J != N; ++J) {
+      int64_t Cheap = static_cast<int64_t>(R.nextBelow(50));
+      int64_t Dear = 10000 + static_cast<int64_t>(R.nextBelow(10000));
+      if (R.nextBool(0.5)) {
+        D.setCost(I, J, Cheap);
+        D.setCost(J, I, Dear);
+      } else {
+        D.setCost(I, J, Dear);
+        D.setCost(J, I, Cheap);
+      }
+    }
+  return D;
+}
+
+/// Big-M heavy: every edge costs BigM except a hidden random Hamiltonian
+/// cycle (cost 0..9) and a few decoy edges (cost ~BigM/2). The optimum
+/// is (usually) the needle; the solver must find it, not an
+/// almost-everywhere-forbidden tour.
+DirectedTsp bigMInstance(size_t N, Rng &R) {
+  constexpr int64_t BigM = 1000000000;
+  DirectedTsp D(N);
+  for (City I = 0; I != N; ++I)
+    for (City J = 0; J != N; ++J)
+      if (I != J)
+        D.setCost(I, J, BigM);
+  std::vector<City> Needle(N);
+  for (City I = 0; I != N; ++I)
+    Needle[I] = I;
+  R.shuffle(Needle);
+  for (size_t I = 0; I != N; ++I)
+    D.setCost(Needle[I], Needle[(I + 1) % N],
+              static_cast<int64_t>(R.nextBelow(10)));
+  for (int Decoy = 0; Decoy != 3; ++Decoy) {
+    City A = static_cast<City>(R.nextIndex(N));
+    City B = static_cast<City>(R.nextIndex(N));
+    if (A != B)
+      D.setCost(A, B, BigM / 2);
+  }
+  return D;
+}
+
+/// All off-diagonal costs identical: every tour ties.
+DirectedTsp allTiesInstance(size_t N, int64_t Cost) {
+  DirectedTsp D(N);
+  for (City I = 0; I != N; ++I)
+    for (City J = 0; J != N; ++J)
+      if (I != J)
+        D.setCost(I, J, Cost);
+  return D;
+}
+
+/// Solves with the paper-protocol defaults and asserts exact optimality
+/// (differentially against the DP) plus tour validity.
+void expectOptimal(const DirectedTsp &D, const char *Family) {
+  int64_t Optimum = solveExactDirected(D);
+  DtspSolution Solution = solveDirectedTsp(D, IteratedOptOptions());
+  EXPECT_TRUE(isValidTour(Solution.Tour, D.numCities())) << Family;
+  EXPECT_EQ(D.tourCost(Solution.Tour), Solution.Cost)
+      << Family << ": reported cost must match its tour";
+  EXPECT_EQ(Solution.Cost, Optimum)
+      << Family << " N=" << D.numCities()
+      << ": iterated 3-Opt missed the DP optimum";
+}
+
+} // namespace
+
+TEST(SolverOracleTest, RandomInstancesMatchExactOptimum) {
+  Rng R(0x0bac1e);
+  for (size_t N = 2; N <= 10; ++N)
+    for (int Rep = 0; Rep != 15; ++Rep)
+      expectOptimal(randomInstance(N, 1000, R), "uniform");
+}
+
+TEST(SolverOracleTest, SmallCostRangesMatchExactOptimum) {
+  // Tiny cost alphabets produce massive tie plateaus; the solver must
+  // still land on an optimal representative.
+  Rng R(0x7ab1e);
+  for (size_t N = 4; N <= 10; ++N)
+    for (int Rep = 0; Rep != 5; ++Rep)
+      expectOptimal(randomInstance(N, 3, R), "tie-plateau");
+}
+
+TEST(SolverOracleTest, AsymmetricInstancesMatchExactOptimum) {
+  Rng R(0xa5b3);
+  for (size_t N = 4; N <= 10; ++N)
+    for (int Rep = 0; Rep != 5; ++Rep)
+      expectOptimal(asymmetricInstance(N, R), "asymmetric");
+}
+
+TEST(SolverOracleTest, BigMNeedleInstancesMatchExactOptimum) {
+  Rng R(0xb16);
+  for (size_t N = 4; N <= 10; ++N)
+    for (int Rep = 0; Rep != 5; ++Rep)
+      expectOptimal(bigMInstance(N, R), "big-M");
+}
+
+TEST(SolverOracleTest, AllTiesKeepCanonicalOrderAndAllRunsTie) {
+  for (size_t N = 2; N <= 10; ++N)
+    for (int64_t Cost : {int64_t(0), int64_t(7)}) {
+      DirectedTsp D = allTiesInstance(N, Cost);
+      int64_t Optimum = solveExactDirected(D);
+      DtspSolution Solution = solveDirectedTsp(D, IteratedOptOptions());
+      EXPECT_EQ(Solution.Cost, Optimum);
+      EXPECT_EQ(Solution.Cost, static_cast<int64_t>(N) * Cost);
+      EXPECT_EQ(Solution.Tour, canonicalTour(N))
+          << "ties must preserve compiler order (N=" << N << ")";
+      EXPECT_EQ(Solution.RunsFindingBest, Solution.NumRuns);
+    }
+}
+
+TEST(SolverOracleTest, MoreEffortNeverWorsens) {
+  // Ladder steps are ordered so each one either appends runs after all
+  // existing runs or lengthens runs in place — the monotone-safe
+  // directions (see the file comment). Step D is the paper default, so
+  // its cost is also pinned to the DP optimum.
+  IteratedOptOptions A;
+  A.GreedyStarts = 1;
+  A.NearestNeighborStarts = 0;
+  A.IterationsFactor = 0.5;
+  A.MinIterationsPerRun = 2;
+
+  IteratedOptOptions B = A;
+  B.GreedyStarts = 3;
+
+  IteratedOptOptions C = B;
+  C.IterationsFactor = 2.0;
+  C.MinIterationsPerRun = 30;
+
+  IteratedOptOptions D; // Paper defaults: G=5, NN=4, canonical, 2N kicks.
+
+  Rng R(0x3ff027);
+  for (size_t N : {6, 8, 10})
+    for (int Rep = 0; Rep != 5; ++Rep) {
+      DirectedTsp Inst = randomInstance(N, 500, R);
+      int64_t CostA = solveDirectedTsp(Inst, A).Cost;
+      int64_t CostB = solveDirectedTsp(Inst, B).Cost;
+      int64_t CostC = solveDirectedTsp(Inst, C).Cost;
+      int64_t CostD = solveDirectedTsp(Inst, D).Cost;
+      EXPECT_GE(CostA, CostB) << "appending greedy starts worsened N=" << N;
+      EXPECT_GE(CostB, CostC) << "longer runs worsened N=" << N;
+      EXPECT_GE(CostC, CostD) << "full protocol worsened N=" << N;
+      EXPECT_EQ(CostD, solveExactDirected(Inst));
+    }
+}
