@@ -10,9 +10,19 @@
 //   align_tool <program.cfg> [--aligner greedy|tsp|cg|original]
 //              [--budget N] [--seed N] [--threads N] [--dot] [--bounds]
 //              [--profile FILE] [--emit-profile FILE]
+//              [--cache DIR] [--cache-stats] [--batch FILE]
 //
 // With no file argument a built-in demo program is used, so the tool is
 // runnable out of the box.
+//
+// --cache DIR persists per-procedure alignment results under DIR keyed
+// by a content fingerprint of their inputs; a second run over unchanged
+// inputs replays them without invoking the solver. --batch FILE aligns
+// many programs (one "prog.cfg [profile.prof]" per line) through one
+// shared cache session. Both run the full alignment pipeline, so
+// --aligner is ignored there (the report shows greedy and TSP side by
+// side). --cache-stats prints the hit/miss counters to stderr, keeping
+// stdout byte-comparable between cold and warm runs.
 //
 //===--------------------------------------------------------------------===//
 
@@ -20,12 +30,14 @@
 #include "align/Bounds.h"
 #include "align/Penalty.h"
 #include "analysis/PipelineVerifier.h"
+#include "cache/Store.h"
 #include "ir/Dot.h"
 #include "ir/TextFormat.h"
 #include "machine/MachineModel.h"
 #include "profile/ProfileIO.h"
 #include "profile/Trace.h"
 #include "support/Format.h"
+#include "support/Parse.h"
 #include "support/Table.h"
 
 #include <cstdio>
@@ -62,8 +74,12 @@ proc dispatch {
 struct ToolOptions {
   std::string File;
   std::string AlignerName = "tsp";
+  bool AlignerGiven = false;   ///< Whether --aligner appeared at all.
   std::string ProfileFile;     ///< Read counts instead of simulating.
   std::string EmitProfileFile; ///< Dump the counts used.
+  std::string CacheDir;        ///< Non-empty enables the disk cache.
+  std::string BatchFile;       ///< Non-empty selects batch mode.
+  bool CacheStats = false;     ///< Print cache counters to stderr.
   uint64_t Budget = 50000;
   uint64_t Seed = 1;
   unsigned Threads = 1; ///< Pipeline workers; 0 = hardware concurrency.
@@ -82,33 +98,41 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Options) {
       }
       return Argv[++I];
     };
+    // Strict numeric parsing: "12x", "", " 12", "+12", and out-of-range
+    // values are errors, never silent truncations.
+    auto needInt = [&](const char *Flag, uint64_t &Out,
+                       uint64_t Max = UINT64_MAX) -> bool {
+      const char *V = needValue(Flag);
+      if (!V)
+        return false;
+      std::optional<uint64_t> N = parseFlagInt(V, Max);
+      if (!N) {
+        std::fprintf(stderr,
+                     "error: %s wants a decimal integer in [0, %llu], "
+                     "got '%s'\n",
+                     Flag, static_cast<unsigned long long>(Max), V);
+        return false;
+      }
+      Out = *N;
+      return true;
+    };
     if (Arg == "--aligner") {
       const char *V = needValue("--aligner");
       if (!V)
         return false;
       Options.AlignerName = V;
+      Options.AlignerGiven = true;
     } else if (Arg == "--budget") {
-      const char *V = needValue("--budget");
-      if (!V)
+      if (!needInt("--budget", Options.Budget))
         return false;
-      Options.Budget = std::strtoull(V, nullptr, 10);
     } else if (Arg == "--seed") {
-      const char *V = needValue("--seed");
-      if (!V)
+      if (!needInt("--seed", Options.Seed))
         return false;
-      Options.Seed = std::strtoull(V, nullptr, 10);
     } else if (Arg == "--threads") {
-      const char *V = needValue("--threads");
-      if (!V)
+      uint64_t N = 0;
+      if (!needInt("--threads", N, UINT32_MAX))
         return false;
-      // 0 legitimately means "all hardware threads", so garbage must not
-      // silently parse to it the way it would with a null endptr.
-      char *End = nullptr;
-      Options.Threads = static_cast<unsigned>(std::strtoul(V, &End, 10));
-      if (End == V || *End != '\0') {
-        std::fprintf(stderr, "error: --threads wants a number, got '%s'\n", V);
-        return false;
-      }
+      Options.Threads = static_cast<unsigned>(N);
     } else if (Arg == "--profile") {
       const char *V = needValue("--profile");
       if (!V)
@@ -119,6 +143,24 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Options) {
       if (!V)
         return false;
       Options.EmitProfileFile = V;
+    } else if (Arg == "--cache") {
+      const char *V = needValue("--cache");
+      if (!V)
+        return false;
+      Options.CacheDir = V;
+    } else if (Arg.rfind("--cache=", 0) == 0) {
+      Options.CacheDir = Arg.substr(std::strlen("--cache="));
+      if (Options.CacheDir.empty()) {
+        std::fprintf(stderr, "error: --cache= wants a directory\n");
+        return false;
+      }
+    } else if (Arg == "--cache-stats") {
+      Options.CacheStats = true;
+    } else if (Arg == "--batch") {
+      const char *V = needValue("--batch");
+      if (!V)
+        return false;
+      Options.BatchFile = V;
     } else if (Arg == "--dot") {
       Options.EmitDot = true;
     } else if (Arg == "--bounds") {
@@ -140,10 +182,22 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Options) {
                   "[--threads N] [--dot] [--bounds] "
                   "[--verify[=quick|full|none]] "
                   "[--profile FILE] [--emit-profile FILE]\n"
-                  "  --threads N   pipeline worker threads for --verify's "
-                  "full alignment\n                (0 = all hardware "
-                  "threads, 1 = serial; results are\n                "
-                  "identical at every setting)\n");
+                  "                  [--cache DIR] [--cache-stats] "
+                  "[--batch FILE]\n"
+                  "  --threads N   pipeline worker threads "
+                  "(0 = all hardware threads, 1 = serial;\n"
+                  "                results are identical at every "
+                  "setting)\n"
+                  "  --cache DIR   persist per-procedure results under "
+                  "DIR; unchanged inputs are\n"
+                  "                replayed without re-solving "
+                  "(bit-identical, validated hits)\n"
+                  "  --cache-stats print hit/miss counters to stderr "
+                  "after the run\n"
+                  "  --batch FILE  align every program listed in FILE "
+                  "('prog.cfg [profile.prof]'\n"
+                  "                per line, '#' comments) through one "
+                  "shared cache session\n");
       return false;
     } else if (!Arg.empty() && Arg[0] != '-') {
       Options.File = Arg;
@@ -190,148 +244,104 @@ std::unique_ptr<Aligner> makeAligner(const std::string &Name) {
   return nullptr;
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
-  ToolOptions Options;
-  if (!parseArgs(Argc, Argv, Options))
-    return 1;
-
+std::optional<Program> loadProgram(const std::string &File,
+                                   bool AnnounceDemo) {
   std::string Text;
-  if (Options.File.empty()) {
+  if (File.empty()) {
     Text = DemoProgram;
-    std::printf("(no input file given; using the built-in demo program)\n");
+    if (AnnounceDemo)
+      std::printf("(no input file given; using the built-in demo "
+                  "program)\n");
   } else {
-    std::ifstream In(Options.File);
+    std::ifstream In(File);
     if (!In) {
-      std::fprintf(stderr, "error: cannot open '%s'\n",
-                   Options.File.c_str());
-      return 1;
+      std::fprintf(stderr, "error: cannot open '%s'\n", File.c_str());
+      return std::nullopt;
     }
     std::ostringstream Buffer;
     Buffer << In.rdbuf();
     Text = Buffer.str();
   }
-
   std::string Error;
   std::optional<Program> Prog = parseProgram(Text, &Error);
-  if (!Prog) {
+  if (!Prog)
     std::fprintf(stderr, "error: parse failed: %s\n", Error.c_str());
-    return 1;
-  }
+  return Prog;
+}
 
-  std::unique_ptr<Aligner> TheAligner = makeAligner(Options.AlignerName);
-  if (!TheAligner) {
-    std::fprintf(stderr, "error: unknown aligner '%s'\n",
-                 Options.AlignerName.c_str());
-    return 1;
-  }
-
-  // Obtain the profile: read it from disk or simulate a seeded run.
-  ProgramProfile Counts;
-  if (!Options.ProfileFile.empty()) {
-    std::ifstream ProfIn(Options.ProfileFile);
+/// Reads \p ProfileFile if given, otherwise simulates a seeded run.
+std::optional<ProgramProfile> obtainProfile(const Program &Prog,
+                                            const std::string &ProfileFile,
+                                            const ToolOptions &Options) {
+  if (!ProfileFile.empty()) {
+    std::ifstream ProfIn(ProfileFile);
     if (!ProfIn) {
-      std::fprintf(stderr, "error: cannot open '%s'\n",
-                   Options.ProfileFile.c_str());
-      return 1;
+      std::fprintf(stderr, "error: cannot open '%s'\n", ProfileFile.c_str());
+      return std::nullopt;
     }
     std::ostringstream ProfBuffer;
     ProfBuffer << ProfIn.rdbuf();
+    std::string Error;
     std::optional<ProgramProfile> Parsed =
-        parseProgramProfile(*Prog, ProfBuffer.str(), &Error);
-    if (!Parsed) {
+        parseProgramProfile(Prog, ProfBuffer.str(), &Error);
+    if (!Parsed)
       std::fprintf(stderr, "error: profile parse failed: %s\n",
                    Error.c_str());
-      return 1;
-    }
-    Counts = std::move(*Parsed);
-  } else {
-    for (size_t P = 0; P != Prog->numProcedures(); ++P) {
-      const Procedure &Proc = Prog->proc(P);
-      Rng BehaviorRng(Options.Seed * 7919 + P);
-      BranchBehavior Behavior = skewedBehavior(Proc, BehaviorRng);
-      Rng TraceRng(Options.Seed * 1000003 + P);
-      TraceGenOptions TraceOptions;
-      TraceOptions.BranchBudget = Options.Budget;
-      Counts.Procs.push_back(collectProfile(
-          Proc, generateTrace(Proc, Behavior, TraceRng, TraceOptions)));
-    }
+    return Parsed;
   }
-  if (!Options.EmitProfileFile.empty()) {
-    std::ofstream ProfOut(Options.EmitProfileFile);
-    if (!ProfOut) {
-      std::fprintf(stderr, "error: cannot write '%s'\n",
-                   Options.EmitProfileFile.c_str());
-      return 1;
-    }
-    ProfOut << printProgramProfile(*Prog, Counts);
-    std::printf("wrote profile to %s\n", Options.EmitProfileFile.c_str());
+  ProgramProfile Counts;
+  for (size_t P = 0; P != Prog.numProcedures(); ++P) {
+    const Procedure &Proc = Prog.proc(P);
+    Rng BehaviorRng(Options.Seed * 7919 + P);
+    BranchBehavior Behavior = skewedBehavior(Proc, BehaviorRng);
+    Rng TraceRng(Options.Seed * 1000003 + P);
+    TraceGenOptions TraceOptions;
+    TraceOptions.BranchBudget = Options.Budget;
+    Counts.Procs.push_back(collectProfile(
+        Proc, generateTrace(Proc, Behavior, TraceRng, TraceOptions)));
   }
+  return Counts;
+}
 
-  MachineModel Model = MachineModel::alpha21164();
-
-  // --verify: run the whole alignment pipeline under balign-verify
-  // (CFG + profile-flow input checks, then verify-each on every matrix,
-  // tour, and layout; Full adds the exactness audits and the
-  // determinism replay). Orthogonal to the report below, which uses
-  // whatever aligner was requested.
-  if (Options.Verify != VerifyLevel::None) {
-    DiagnosticEngine Diags;
-    Diags.setEchoToStderr(true);
-    VerifyOptions Verify;
-    Verify.Level = Options.Verify;
-    AlignmentOptions AlignOptions;
-    AlignOptions.Model = Model;
-    AlignOptions.Solver.Seed = Options.Seed;
-    AlignOptions.ComputeBounds = true;
-    AlignOptions.Threads = Options.Threads;
-    alignProgramVerified(*Prog, Counts, AlignOptions, Diags, Verify);
-    std::printf("verify (%s): %s\n",
-                Options.Verify == VerifyLevel::Full ? "full" : "quick",
-                Diags.summary().c_str());
-    if (Diags.hasErrors())
-      return 1;
-  }
-
+/// The pipeline-based report used in cache and batch modes: all three
+/// layouts come from alignProgram (so warm caches replay them), with
+/// greedy and TSP side by side instead of one --aligner column.
+void reportPipelineAlignment(const Program &Prog,
+                             const ProgramProfile &Counts,
+                             const ProgramAlignment &Result,
+                             const ToolOptions &Options) {
   TextTable Report;
   Report.addColumn("procedure");
   Report.addColumn("blocks", TextTable::AlignKind::Right);
   Report.addColumn("branches", TextTable::AlignKind::Right);
   Report.addColumn("original", TextTable::AlignKind::Right);
-  Report.addColumn(TheAligner->name(), TextTable::AlignKind::Right);
+  Report.addColumn("greedy", TextTable::AlignKind::Right);
+  Report.addColumn("tsp", TextTable::AlignKind::Right);
   Report.addColumn("removed", TextTable::AlignKind::Right);
   if (Options.ComputeBounds)
     Report.addColumn("hk-bound", TextTable::AlignKind::Right);
 
-  for (size_t P = 0; P != Prog->numProcedures(); ++P) {
-    const Procedure &Proc = Prog->proc(P);
+  for (size_t P = 0; P != Prog.numProcedures(); ++P) {
+    const Procedure &Proc = Prog.proc(P);
     const ProcedureProfile &Profile = Counts.Procs[P];
-
-    Layout Aligned = TheAligner->align(Proc, Profile, Model);
-    uint64_t Original = evaluateLayout(Proc, Layout::original(Proc), Model,
-                                       Profile, Profile);
-    uint64_t After = evaluateLayout(Proc, Aligned, Model, Profile, Profile);
-
+    const ProcedureAlignment &PA = Result.Procs[P];
     std::vector<std::string> Row = {
         Proc.getName(),
         std::to_string(Proc.numBlocks()),
         formatCount(Profile.executedBranches(Proc)),
-        std::to_string(Original),
-        std::to_string(After),
-        Original > 0
-            ? formatPercent(1.0 - static_cast<double>(After) /
-                                      static_cast<double>(Original))
+        std::to_string(PA.OriginalPenalty),
+        std::to_string(PA.GreedyPenalty),
+        std::to_string(PA.TspPenalty),
+        PA.OriginalPenalty > 0
+            ? formatPercent(1.0 - static_cast<double>(PA.TspPenalty) /
+                                      static_cast<double>(PA.OriginalPenalty))
             : "0%"};
-    if (Options.ComputeBounds) {
-      PenaltyBounds Bounds =
-          computePenaltyBounds(Proc, Profile, Model, After);
-      Row.push_back(formatFixed(Bounds.HeldKarp, 1));
-    }
+    if (Options.ComputeBounds)
+      Row.push_back(formatFixed(PA.Bounds.HeldKarp, 1));
     Report.addRow(std::move(Row));
 
     std::printf("proc %s layout:", Proc.getName().c_str());
-    for (BlockId Id : Aligned.Order) {
+    for (BlockId Id : PA.TspLayout.Order) {
       const BasicBlock &Block = Proc.block(Id);
       std::printf(" %s", Block.Name.empty()
                              ? ("b" + std::to_string(Id)).c_str()
@@ -342,5 +352,216 @@ int main(int Argc, char **Argv) {
       std::printf("%s", printDot(Proc, &Profile.EdgeCounts).c_str());
   }
   std::printf("\n%s", Report.render().c_str());
+}
+
+/// Runs --verify over one program; returns false when errors were found.
+bool runVerified(const Program &Prog, const ProgramProfile &Counts,
+                 const ToolOptions &Options,
+                 const AlignmentOptions &AlignOptions) {
+  DiagnosticEngine Diags;
+  Diags.setEchoToStderr(true);
+  VerifyOptions Verify;
+  Verify.Level = Options.Verify;
+  alignProgramVerified(Prog, Counts, AlignOptions, Diags, Verify);
+  std::printf("verify (%s): %s\n",
+              Options.Verify == VerifyLevel::Full ? "full" : "quick",
+              Diags.summary().c_str());
+  return !Diags.hasErrors();
+}
+
+/// Cache/batch-mode alignment of one program: verify first when asked
+/// (which also warms the cache through the store path), then the
+/// pipeline report.
+bool alignOneProgram(const Program &Prog, const ProgramProfile &Counts,
+                     const ToolOptions &Options,
+                     const AlignmentOptions &AlignOptions) {
+  if (Options.Verify != VerifyLevel::None &&
+      !runVerified(Prog, Counts, Options, AlignOptions))
+    return false;
+  ProgramAlignment Result = alignProgram(Prog, Counts, AlignOptions);
+  reportPipelineAlignment(Prog, Counts, Result, Options);
+  return true;
+}
+
+/// Parses one batch line into "program [profile]"; returns false for
+/// blank/comment lines.
+bool parseBatchLine(const std::string &Line, std::string &ProgramFile,
+                    std::string &ProfileFile) {
+  std::istringstream Fields(Line);
+  ProgramFile.clear();
+  ProfileFile.clear();
+  Fields >> ProgramFile >> ProfileFile;
+  return !ProgramFile.empty() && ProgramFile[0] != '#';
+}
+
+int runBatch(const ToolOptions &Options, AlignmentOptions &AlignOptions) {
+  std::ifstream In(Options.BatchFile);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open batch file '%s'\n",
+                 Options.BatchFile.c_str());
+    return 1;
+  }
+  size_t Entry = 0;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    std::string ProgramFile, ProfileFile;
+    if (!parseBatchLine(Line, ProgramFile, ProfileFile))
+      continue;
+    std::optional<Program> Prog = loadProgram(ProgramFile, false);
+    if (!Prog)
+      return 1;
+    std::optional<ProgramProfile> Counts =
+        obtainProfile(*Prog, ProfileFile, Options);
+    if (!Counts)
+      return 1;
+    if (Entry++)
+      std::printf("\n");
+    std::printf("== %s ==\n", ProgramFile.c_str());
+    if (!alignOneProgram(*Prog, *Counts, Options, AlignOptions))
+      return 1;
+  }
+  if (Entry == 0)
+    std::fprintf(stderr, "warning: batch file '%s' lists no programs\n",
+                 Options.BatchFile.c_str());
   return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ToolOptions Options;
+  if (!parseArgs(Argc, Argv, Options))
+    return 1;
+
+  bool UsePipeline = !Options.CacheDir.empty() || !Options.BatchFile.empty();
+  if (UsePipeline && Options.AlignerGiven && Options.AlignerName != "tsp")
+    std::fprintf(stderr,
+                 "warning: --aligner %s is ignored with --cache/--batch "
+                 "(the full pipeline reports greedy and tsp)\n",
+                 Options.AlignerName.c_str());
+
+  AlignmentOptions AlignOptions;
+  AlignOptions.Model = MachineModel::alpha21164();
+  AlignOptions.Solver.Seed = Options.Seed;
+  AlignOptions.ComputeBounds = Options.ComputeBounds;
+  AlignOptions.Threads = Options.Threads;
+  if (!Options.CacheDir.empty()) {
+    AlignOptions.Cache = CacheMode::Disk;
+    AlignOptions.CachePath = Options.CacheDir;
+  } else if (!Options.BatchFile.empty()) {
+    // Batch without a directory still shares an in-process cache, so
+    // duplicate procedures across the list are solved once.
+    AlignOptions.Cache = CacheMode::Memory;
+  }
+  CacheSession Cache(AlignOptions);
+
+  int Exit = 0;
+  if (!Options.BatchFile.empty()) {
+    if (!Options.File.empty())
+      std::fprintf(stderr,
+                   "warning: positional input '%s' is ignored in --batch "
+                   "mode\n",
+                   Options.File.c_str());
+    Exit = runBatch(Options, AlignOptions);
+  } else {
+    std::optional<Program> Prog = loadProgram(Options.File, true);
+    if (!Prog)
+      return 1;
+    std::optional<ProgramProfile> Counts =
+        obtainProfile(*Prog, Options.ProfileFile, Options);
+    if (!Counts)
+      return 1;
+    if (!Options.EmitProfileFile.empty()) {
+      std::ofstream ProfOut(Options.EmitProfileFile);
+      if (!ProfOut) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     Options.EmitProfileFile.c_str());
+        return 1;
+      }
+      ProfOut << printProgramProfile(*Prog, *Counts);
+      std::printf("wrote profile to %s\n", Options.EmitProfileFile.c_str());
+    }
+
+    if (UsePipeline) {
+      // --bounds changes the fingerprint (bounds are part of the cached
+      // artifact), and --verify always computes them; align the two so
+      // a verified run warms the cache the report then hits.
+      Exit = alignOneProgram(*Prog, *Counts, Options, AlignOptions) ? 0 : 1;
+    } else {
+      // Legacy single-aligner path, byte-compatible with prior releases.
+      std::unique_ptr<Aligner> TheAligner = makeAligner(Options.AlignerName);
+      if (!TheAligner) {
+        std::fprintf(stderr, "error: unknown aligner '%s'\n",
+                     Options.AlignerName.c_str());
+        return 1;
+      }
+      MachineModel Model = AlignOptions.Model;
+
+      if (Options.Verify != VerifyLevel::None) {
+        AlignmentOptions VerifyAlign = AlignOptions;
+        VerifyAlign.ComputeBounds = true;
+        if (!runVerified(*Prog, *Counts, Options, VerifyAlign))
+          return 1;
+      }
+
+      TextTable Report;
+      Report.addColumn("procedure");
+      Report.addColumn("blocks", TextTable::AlignKind::Right);
+      Report.addColumn("branches", TextTable::AlignKind::Right);
+      Report.addColumn("original", TextTable::AlignKind::Right);
+      Report.addColumn(TheAligner->name(), TextTable::AlignKind::Right);
+      Report.addColumn("removed", TextTable::AlignKind::Right);
+      if (Options.ComputeBounds)
+        Report.addColumn("hk-bound", TextTable::AlignKind::Right);
+
+      for (size_t P = 0; P != Prog->numProcedures(); ++P) {
+        const Procedure &Proc = Prog->proc(P);
+        const ProcedureProfile &Profile = Counts->Procs[P];
+
+        Layout Aligned = TheAligner->align(Proc, Profile, Model);
+        uint64_t Original = evaluateLayout(Proc, Layout::original(Proc),
+                                           Model, Profile, Profile);
+        uint64_t After =
+            evaluateLayout(Proc, Aligned, Model, Profile, Profile);
+
+        std::vector<std::string> Row = {
+            Proc.getName(),
+            std::to_string(Proc.numBlocks()),
+            formatCount(Profile.executedBranches(Proc)),
+            std::to_string(Original),
+            std::to_string(After),
+            Original > 0
+                ? formatPercent(1.0 - static_cast<double>(After) /
+                                          static_cast<double>(Original))
+                : "0%"};
+        if (Options.ComputeBounds) {
+          PenaltyBounds Bounds =
+              computePenaltyBounds(Proc, Profile, Model, After);
+          Row.push_back(formatFixed(Bounds.HeldKarp, 1));
+        }
+        Report.addRow(std::move(Row));
+
+        std::printf("proc %s layout:", Proc.getName().c_str());
+        for (BlockId Id : Aligned.Order) {
+          const BasicBlock &Block = Proc.block(Id);
+          std::printf(" %s", Block.Name.empty()
+                                 ? ("b" + std::to_string(Id)).c_str()
+                                 : Block.Name.c_str());
+        }
+        std::printf("\n");
+        if (Options.EmitDot)
+          std::printf("%s", printDot(Proc, &Profile.EdgeCounts).c_str());
+      }
+      std::printf("\n%s", Report.render().c_str());
+    }
+  }
+
+  if (Options.CacheStats) {
+    std::string Error;
+    if (!Cache.flush(&Error))
+      std::fprintf(stderr, "warning: cache flush failed: %s\n",
+                   Error.c_str());
+    std::fprintf(stderr, "cache: %s\n", Cache.stats().summary().c_str());
+  }
+  return Exit;
 }

@@ -13,16 +13,41 @@
 #include "align/Penalty.h"
 #include "align/Pipeline.h"
 #include "support/Format.h"
+#include "support/Parse.h"
 #include "support/Table.h"
 #include "workloads/Workloads.h"
 
 #include <cstdio>
+#include <cstdint>
 #include <string>
 
 using namespace balign;
 
 int main(int Argc, char **Argv) {
-  std::string Benchmark = Argc > 1 ? Argv[1] : "xli";
+  std::string Benchmark = "xli";
+  unsigned Threads = 1;
+  for (int I = 1; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--threads") {
+      if (I + 1 == Argc) {
+        std::fprintf(stderr, "error: --threads requires a value\n");
+        return 1;
+      }
+      std::optional<uint64_t> N = parseFlagInt(Argv[++I], UINT32_MAX);
+      if (!N) {
+        std::fprintf(stderr, "error: --threads wants a decimal integer, "
+                     "got '%s'\n", Argv[I]);
+        return 1;
+      }
+      Threads = static_cast<unsigned>(*N);
+    } else if (!Arg.empty() && Arg[0] != '-') {
+      Benchmark = Arg;
+    } else {
+      std::fprintf(stderr, "usage: crossval_study [benchmark] "
+                   "[--threads N]\n");
+      return 1;
+    }
+  }
   bool Known = false;
   for (const WorkloadSpec &Spec : benchmarkSuite())
     Known |= Spec.Benchmark == Benchmark;
@@ -37,6 +62,7 @@ int main(int Argc, char **Argv) {
   WorkloadInstance W = buildWorkloadByName(Benchmark);
   AlignmentOptions Options;
   Options.ComputeBounds = false;
+  Options.Threads = Threads; // Bit-identical results at every setting.
 
   TextTable T;
   T.addColumn("test set");

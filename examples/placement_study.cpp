@@ -8,7 +8,7 @@
 // the same TSP machinery (the Section 6 interprocedural future-work
 // direction), and show how each level contributes to simulated cycles.
 //
-// Usage: placement_study [benchmark] (default xli)
+// Usage: placement_study [benchmark] [--threads N] (default xli)
 //
 //===--------------------------------------------------------------------===//
 
@@ -17,16 +17,41 @@
 #include "interproc/Placement.h"
 #include "interproc/ProcOrder.h"
 #include "support/Format.h"
+#include "support/Parse.h"
 #include "support/Table.h"
 #include "workloads/Workloads.h"
 
 #include <cstdio>
+#include <cstdint>
 #include <string>
 
 using namespace balign;
 
 int main(int Argc, char **Argv) {
-  std::string Benchmark = Argc > 1 ? Argv[1] : "xli";
+  std::string Benchmark = "xli";
+  unsigned Threads = 1;
+  for (int I = 1; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--threads") {
+      if (I + 1 == Argc) {
+        std::fprintf(stderr, "error: --threads requires a value\n");
+        return 1;
+      }
+      std::optional<uint64_t> N = parseFlagInt(Argv[++I], UINT32_MAX);
+      if (!N) {
+        std::fprintf(stderr, "error: --threads wants a decimal integer, "
+                     "got '%s'\n", Argv[I]);
+        return 1;
+      }
+      Threads = static_cast<unsigned>(*N);
+    } else if (!Arg.empty() && Arg[0] != '-') {
+      Benchmark = Arg;
+    } else {
+      std::fprintf(stderr, "usage: placement_study [benchmark] "
+                   "[--threads N]\n");
+      return 1;
+    }
+  }
   bool Known = false;
   for (const WorkloadSpec &Spec : benchmarkSuite())
     Known |= Spec.Benchmark == Benchmark;
@@ -43,6 +68,7 @@ int main(int Argc, char **Argv) {
   const WorkloadDataSet &Ds = W.DataSets[1]; // The larger data set.
   AlignmentOptions Options;
   Options.ComputeBounds = false;
+  Options.Threads = Threads; // Bit-identical results at every setting.
   ProgramAlignment A = alignProgram(W.Prog, Ds.Profile, Options);
 
   // Materialize both block-layout variants.

@@ -106,9 +106,13 @@ struct ProcedureTask {
 };
 
 /// Runs every stage for procedure \p I. Pure function of its arguments:
-/// reads only shared-immutable inputs, writes only the returned task, so
-/// any number of calls may run concurrently. \p KeepArtifacts retains
-/// the matrix/solution for the hook drain.
+/// reads only shared-immutable inputs, writes only the returned task
+/// (and talks to the internally synchronized cache, when one is
+/// attached), so any number of calls may run concurrently.
+/// \p KeepArtifacts retains the matrix/solution for the hook drain — and
+/// disables cache *lookups*, because a hit has no stage artifacts for
+/// the AfterMatrix/AfterSolve hooks to observe; computed results are
+/// still offered to the cache.
 ProcedureTask alignOneProcedure(const Procedure &Proc,
                                 const ProcedureProfile &Profile,
                                 const AlignmentOptions &Options, size_t I,
@@ -123,12 +127,17 @@ ProcedureTask alignOneProcedure(const Procedure &Proc,
   // Unprofiled procedures are left alone, as a profile-guided compiler
   // leaves untouched code in place; rearranging on a zero-cost matrix
   // would pick an arbitrary (and, under a different input, possibly
-  // terrible) permutation.
+  // terrible) permutation. They also bypass the cache: the skip path is
+  // cheaper than a fingerprint.
   if (Profile.executedBranches(Proc) == 0) {
     PA.GreedyLayout = PA.OriginalLayout;
     PA.TspLayout = PA.OriginalLayout;
     return Task;
   }
+
+  ProcedureResultCache *Cache = Options.CacheImpl;
+  if (Cache && !KeepArtifacts && Cache->lookup(Proc, Profile, Options, I, PA))
+    return Task; // Validated hit; all stage timers stay at zero.
 
   CpuStopwatch GreedyTimer;
   PA.GreedyLayout = GreedyAligner().align(Proc, Profile, Options.Model);
@@ -145,7 +154,7 @@ ProcedureTask alignOneProcedure(const Procedure &Proc,
   // results do not depend on procedure processing order — this is what
   // makes parallel and serial runs bit-identical.
   IteratedOptOptions SolverOptions = Options.Solver;
-  SolverOptions.Seed = Options.Solver.Seed + 0x9e3779b9u * (I + 1);
+  SolverOptions.Seed = derivedSolverSeed(Options.Solver.Seed, I);
   DtspSolution Solution = solveDirectedTsp(Atsp.Tsp, SolverOptions);
   Task.SolverSeconds = SolverTimer.seconds();
 
@@ -161,6 +170,9 @@ ProcedureTask alignOneProcedure(const Procedure &Proc,
                                      PA.TspPenalty, Options.HeldKarp);
     Task.BoundsSeconds = BoundsTimer.seconds();
   }
+
+  if (Cache)
+    Cache->store(Proc, Profile, Options, I, PA);
 
   Task.RanSolver = true;
   if (KeepArtifacts) {
@@ -179,19 +191,28 @@ ProgramAlignment balign::alignProgram(const Program &Prog,
   if (Train.Procs.size() != Prog.numProcedures())
     fatalArityMismatch(CheckId::PipelineProfileArity, "training profile",
                        Train.Procs.size(), Prog.numProcedures());
+  if (Options.Cache != CacheMode::Off && !Options.CacheImpl)
+    reportFatal(Diagnostic{
+        Severity::Error, CheckId::PipelineCacheNotAttached, "pipeline",
+        DiagLocation::program(),
+        "AlignmentOptions::Cache is enabled but no implementation is "
+        "attached (construct a cache::CacheSession over these options)"});
   size_t NumProcs = Prog.numProcedures();
   // Shape-check every procedure up front (and on the calling thread, so
-  // the fatal diagnostic never races a worker).
+  // the fatal diagnostic never races a worker). Block *and* edge-count
+  // shapes: penalty evaluation and cache fingerprinting both walk
+  // EdgeCounts parallel to the successor lists.
   for (size_t I = 0; I != NumProcs; ++I) {
     const Procedure &Proc = Prog.proc(I);
     const ProcedureProfile &Profile = Train.Procs[I];
-    if (Profile.BlockCounts.size() != Proc.numBlocks())
+    if (!Profile.shapeMatches(Proc))
       reportFatal(Diagnostic{
           Severity::Error, CheckId::PipelineProfileShape, "pipeline",
           DiagLocation::procedure(Proc.getName()),
           "profile covers " + std::to_string(Profile.BlockCounts.size()) +
-              " blocks but the procedure has " +
-              std::to_string(Proc.numBlocks())});
+              " blocks / " + std::to_string(Profile.EdgeCounts.size()) +
+              " edge lists but the procedure has " +
+              std::to_string(Proc.numBlocks()) + " blocks"});
   }
 
   const PipelineStageHooks &Hooks = Options.Hooks;

@@ -75,12 +75,75 @@ struct PipelineStageHooks {
       AfterProcedure;
 };
 
+struct AlignmentOptions;
+
+/// Where alignProgram keeps per-procedure results between runs.
+enum class CacheMode : uint8_t {
+  Off,    ///< Every procedure is recomputed (the default).
+  Memory, ///< Results cached in-process; dies with the cache object.
+  Disk,   ///< Results persisted under AlignmentOptions::CachePath.
+};
+
+/// The pipeline's view of a result cache. The align library deliberately
+/// knows nothing about fingerprints or storage: it hands the cache the
+/// raw per-procedure inputs plus the procedure index (whose derived
+/// solver seed is part of the key) and receives a validated
+/// ProcedureAlignment back, or computes and offers the fresh result for
+/// storage. The concrete implementation lives in cache/Store.h, which
+/// may link the analysis library for hit validation — a dependency the
+/// align library itself must not take.
+///
+/// Thread-safety contract: lookup and store may be called concurrently
+/// from pipeline workers (AlignmentOptions::Threads > 1); the
+/// implementation must synchronize internally.
+class ProcedureResultCache {
+public:
+  virtual ~ProcedureResultCache() = default;
+
+  /// On a validated hit, fills \p Out and returns true. A hit must be
+  /// byte-identical to what recomputation would produce; anything the
+  /// implementation cannot fully validate must be a miss.
+  virtual bool lookup(const Procedure &Proc, const ProcedureProfile &Train,
+                      const AlignmentOptions &Options, size_t ProcIndex,
+                      ProcedureAlignment &Out) = 0;
+
+  /// Offers a freshly computed result for caching.
+  virtual void store(const Procedure &Proc, const ProcedureProfile &Train,
+                     const AlignmentOptions &Options, size_t ProcIndex,
+                     const ProcedureAlignment &Result) = 0;
+};
+
+/// The solver-seed stream of procedure \p ProcIndex, derived from the
+/// root seed so results do not depend on procedure processing order.
+/// Shared between the pipeline (which solves with it) and the cache
+/// fingerprint (which keys on it); the two must never disagree.
+inline uint64_t derivedSolverSeed(uint64_t RootSeed, size_t ProcIndex) {
+  return RootSeed + 0x9e3779b9u * (static_cast<uint64_t>(ProcIndex) + 1);
+}
+
 /// Configuration for alignProgram.
 struct AlignmentOptions {
   MachineModel Model = MachineModel::alpha21164();
   IteratedOptOptions Solver;
   HeldKarpOptions HeldKarp;
   bool ComputeBounds = true;
+
+  /// Result caching across runs. Off computes everything; Memory and
+  /// Disk require a cache::CacheSession (or any ProcedureResultCache)
+  /// attached via CacheImpl — enabling a mode without an implementation
+  /// is a fatal usage error. Cached hits are bit-identical to
+  /// recomputation at every thread count.
+  CacheMode Cache = CacheMode::Off;
+
+  /// Store directory for CacheMode::Disk (created on first flush).
+  std::string CachePath;
+
+  /// The cache implementation; installed by cache::CacheSession. Not
+  /// owned. Lookups are skipped while AfterMatrix/AfterSolve hooks are
+  /// present (verification wants to observe real solves), but freshly
+  /// computed results are still stored, so `--verify --cache` warms a
+  /// fully verified cache.
+  ProcedureResultCache *CacheImpl = nullptr;
 
   /// Worker threads for the per-procedure stages (greedy, matrix build,
   /// DTSP solve, bounds): 1 runs everything on the calling thread, 0

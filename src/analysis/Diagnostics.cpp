@@ -106,6 +106,8 @@ const char *balign::checkIdName(CheckId Check) {
     return "pipeline.profile-shape";
   case CheckId::PipelineLayoutArity:
     return "pipeline.layout-arity";
+  case CheckId::PipelineCacheNotAttached:
+    return "pipeline.cache-not-attached";
   }
   assert(false && "unknown check id");
   return "?";

@@ -100,9 +100,10 @@ enum class CheckId : uint16_t {
   DeterminismLayoutDiverged, ///< determinism.layout-diverged
 
   // pipeline: argument contracts of the alignment driver.
-  PipelineProfileArity, ///< pipeline.profile-arity
-  PipelineProfileShape, ///< pipeline.profile-shape
-  PipelineLayoutArity,  ///< pipeline.layout-arity
+  PipelineProfileArity,     ///< pipeline.profile-arity
+  PipelineProfileShape,     ///< pipeline.profile-shape
+  PipelineLayoutArity,      ///< pipeline.layout-arity
+  PipelineCacheNotAttached, ///< pipeline.cache-not-attached
 };
 
 /// Returns the stable printable ID, e.g. "cfg.unreachable-block".

@@ -1,0 +1,147 @@
+//===- cache/Fingerprint.cpp ----------------------------------------------===//
+
+#include "cache/Fingerprint.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace balign;
+
+namespace {
+
+/// SplitMix64's finalizer: full avalanche in three multiply-xor rounds.
+uint64_t avalanche(uint64_t Z) {
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+} // namespace
+
+std::string Fingerprint::str() const {
+  char Buffer[2 * 16 + 2];
+  std::snprintf(Buffer, sizeof(Buffer), "%016llx:%016llx",
+                static_cast<unsigned long long>(Hi),
+                static_cast<unsigned long long>(Lo));
+  return Buffer;
+}
+
+void Hasher::bytes(const void *Data, size_t Size) {
+  const auto *P = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I != Size; ++I) {
+    LaneA = (LaneA ^ P[I]) * 0x100000001b3ULL;
+    LaneB = (LaneB + P[I] + 1) * 0x9e3779b97f4a7c15ULL;
+  }
+  Length += Size;
+}
+
+void Hasher::u32(uint32_t V) {
+  unsigned char Buffer[4];
+  for (int I = 0; I != 4; ++I)
+    Buffer[I] = static_cast<unsigned char>(V >> (8 * I));
+  bytes(Buffer, sizeof(Buffer));
+}
+
+void Hasher::u64(uint64_t V) {
+  unsigned char Buffer[8];
+  for (int I = 0; I != 8; ++I)
+    Buffer[I] = static_cast<unsigned char>(V >> (8 * I));
+  bytes(Buffer, sizeof(Buffer));
+}
+
+void Hasher::f64(double V) {
+  static_assert(sizeof(double) == sizeof(uint64_t));
+  uint64_t Bits;
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  u64(Bits);
+}
+
+void Hasher::str(const std::string &S) {
+  u64(S.size());
+  bytes(S.data(), S.size());
+}
+
+Fingerprint Hasher::digest() const {
+  // Stamp the length and cross-mix the lanes so each output word
+  // depends on both, then avalanche each word independently.
+  uint64_t A = LaneA ^ (Length * 0xff51afd7ed558ccdULL);
+  uint64_t B = LaneB + Length;
+  Fingerprint F;
+  F.Hi = avalanche(A + 0x2545f4914f6cdd1dULL * B);
+  F.Lo = avalanche(B ^ (A >> 17) ^ 0x94d049bb133111ebULL);
+  return F;
+}
+
+void balign::hashProcedure(Hasher &H, const Procedure &Proc) {
+  H.u64(Proc.numBlocks());
+  for (BlockId Id = 0; Id != Proc.numBlocks(); ++Id) {
+    const BasicBlock &Block = Proc.block(Id);
+    H.u32(Block.InstrCount);
+    H.u8(static_cast<uint8_t>(Block.Kind));
+    H.u64(Proc.successors(Id).size());
+  }
+  Proc.forEachEdge(
+      [&H](BlockId From, size_t SuccIndex, BlockId To) {
+        H.u32(From);
+        H.u64(SuccIndex);
+        H.u32(To);
+      });
+}
+
+void balign::hashProfile(Hasher &H, const ProcedureProfile &Profile) {
+  H.u64(Profile.BlockCounts.size());
+  for (uint64_t Count : Profile.BlockCounts)
+    H.u64(Count);
+  H.u64(Profile.EdgeCounts.size());
+  for (const std::vector<uint64_t> &Edges : Profile.EdgeCounts) {
+    H.u64(Edges.size());
+    for (uint64_t Count : Edges)
+      H.u64(Count);
+  }
+}
+
+void balign::hashMachineModel(Hasher &H, const MachineModel &Model) {
+  H.u32(Model.CondFallThrough);
+  H.u32(Model.CondTakenCorrect);
+  H.u32(Model.CondMispredict);
+  H.u32(Model.UncondBranch);
+  H.u32(Model.MultiwayPredicted);
+  H.u32(Model.MultiwayMispredict);
+}
+
+void balign::hashSolverOptions(Hasher &H, const IteratedOptOptions &Solver) {
+  H.u32(Solver.GreedyStarts);
+  H.u32(Solver.NearestNeighborStarts);
+  H.u8(Solver.CanonicalStart ? 1 : 0);
+  H.f64(Solver.IterationsFactor);
+  H.u32(Solver.MinIterationsPerRun);
+  H.u32(Solver.MaxIterationsPerRun);
+  H.u32(Solver.NeighborListSize);
+  H.u64(Solver.Seed);
+}
+
+void balign::hashHeldKarpOptions(Hasher &H, const HeldKarpOptions &HK) {
+  H.u32(HK.Iterations);
+  H.f64(HK.InitialAlpha);
+  H.f64(HK.RelativeGapStop);
+  H.f64(HK.AbsoluteGapStop);
+}
+
+Fingerprint
+balign::fingerprintProcedureInputs(const Procedure &Proc,
+                                   const ProcedureProfile &Train,
+                                   const AlignmentOptions &Options,
+                                   size_t ProcIndex) {
+  Hasher H;
+  H.u32(CacheFormatVersion);
+  hashProcedure(H, Proc);
+  hashProfile(H, Train);
+  hashMachineModel(H, Options.Model);
+  IteratedOptOptions Derived = Options.Solver;
+  Derived.Seed = derivedSolverSeed(Options.Solver.Seed, ProcIndex);
+  hashSolverOptions(H, Derived);
+  H.u8(Options.ComputeBounds ? 1 : 0);
+  if (Options.ComputeBounds)
+    hashHeldKarpOptions(H, Options.HeldKarp);
+  return H.digest();
+}

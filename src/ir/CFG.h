@@ -93,6 +93,16 @@ public:
     return Successors[Id];
   }
 
+  /// Calls Fn(From, SuccIndex, To) for every CFG edge, in canonical order
+  /// (blocks ascending, successor lists in declaration order). This order
+  /// is part of the cache-fingerprint contract: two procedures hash equal
+  /// iff this enumeration yields the same sequence.
+  template <typename FnT> void forEachEdge(FnT &&Fn) const {
+    for (BlockId From = 0; From != Blocks.size(); ++From)
+      for (size_t I = 0; I != Successors[From].size(); ++I)
+        Fn(From, I, Successors[From][I]);
+  }
+
   /// Predecessor lists, computed on demand (invalidated by addEdge).
   std::vector<std::vector<BlockId>> computePredecessors() const;
 

@@ -68,6 +68,16 @@ bool ProcedureProfile::isFlowConsistent(const Procedure &Proc) const {
   return true;
 }
 
+bool ProcedureProfile::shapeMatches(const Procedure &Proc) const {
+  if (BlockCounts.size() != Proc.numBlocks() ||
+      EdgeCounts.size() != Proc.numBlocks())
+    return false;
+  for (BlockId Id = 0; Id != Proc.numBlocks(); ++Id)
+    if (EdgeCounts[Id].size() != Proc.successors(Id).size())
+      return false;
+  return true;
+}
+
 uint64_t ProgramProfile::executedBranches(const Program &Prog) const {
   uint64_t Sum = 0;
   for (size_t I = 0; I != Procs.size(); ++I)

@@ -66,6 +66,13 @@ struct ProcedureProfile {
   /// Checks the internal consistency invariant: for every non-return
   /// block, the outgoing edge counts sum to the block count.
   bool isFlowConsistent(const Procedure &Proc) const;
+
+  /// True if the profile's vectors are shaped exactly like \p Proc:
+  /// one block count per block and one edge-count list per block whose
+  /// length matches the block's successor list. Anything that walks
+  /// EdgeCounts parallel to the CFG (penalty evaluation, fingerprinting)
+  /// requires this; the pipeline rejects profiles that fail it.
+  bool shapeMatches(const Procedure &Proc) const;
 };
 
 /// Whole-program profile: one ProcedureProfile per procedure, in program

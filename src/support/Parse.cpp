@@ -1,0 +1,28 @@
+//===- support/Parse.cpp --------------------------------------------------===//
+
+#include "support/Parse.h"
+
+using namespace balign;
+
+std::optional<uint64_t> balign::parseFlagInt(std::string_view Text) {
+  if (Text.empty())
+    return std::nullopt;
+  uint64_t Value = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9')
+      return std::nullopt;
+    uint64_t Digit = static_cast<uint64_t>(C - '0');
+    if (Value > (UINT64_MAX - Digit) / 10)
+      return std::nullopt; // Would overflow uint64_t.
+    Value = Value * 10 + Digit;
+  }
+  return Value;
+}
+
+std::optional<uint64_t> balign::parseFlagInt(std::string_view Text,
+                                             uint64_t Max) {
+  std::optional<uint64_t> Value = parseFlagInt(Text);
+  if (Value && *Value > Max)
+    return std::nullopt;
+  return Value;
+}
