@@ -11,6 +11,8 @@
 //              [--budget N] [--seed N] [--threads N] [--dot] [--bounds]
 //              [--profile FILE] [--emit-profile FILE]
 //              [--cache DIR] [--cache-stats] [--batch FILE]
+//              [--on-error abort|fallback|skip] [--time-budget MS]
+//              [--deadline MS] [--checkpoint FILE]
 //
 // With no file argument a built-in demo program is used, so the tool is
 // runnable out of the box.
@@ -24,6 +26,16 @@
 // side). --cache-stats prints the hit/miss counters to stderr, keeping
 // stdout byte-comparable between cold and warm runs.
 //
+// The balign-shield flags (--on-error, --time-budget, --deadline) also
+// run the full pipeline. Exit-code contract:
+//
+//   0  success (including runs that degraded procedures under
+//      --on-error=fallback/skip — degradations are reported on stderr)
+//   1  usage error, unreadable/unparsable input, or --verify errors
+//   2  alignment aborted: a procedure failed under --on-error=abort
+//      (the default policy)
+//   3  --batch finished, but some entries failed and were skipped past
+//
 //===--------------------------------------------------------------------===//
 
 #include "align/Aligners.h"
@@ -36,6 +48,7 @@
 #include "machine/MachineModel.h"
 #include "profile/ProfileIO.h"
 #include "profile/Trace.h"
+#include "robust/FaultInjector.h"
 #include "support/Format.h"
 #include "support/Parse.h"
 #include "support/Table.h"
@@ -45,6 +58,7 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -86,7 +100,35 @@ struct ToolOptions {
   bool EmitDot = false;
   bool ComputeBounds = false;
   VerifyLevel Verify = VerifyLevel::None;
+
+  // balign-shield flags.
+  OnErrorPolicy OnError = OnErrorPolicy::Abort;
+  bool OnErrorGiven = false;   ///< Whether --on-error appeared at all.
+  uint64_t TimeBudgetMs = 0;   ///< --time-budget: per-procedure budget.
+  uint64_t DeadlineMs = 0;     ///< --deadline: whole-run budget.
+  std::string CheckpointFile;  ///< --checkpoint: batch resume journal.
+
+  /// True when any shield flag was given; forces the pipeline path and
+  /// enables the stderr shield report.
+  bool shieldActive() const {
+    return OnErrorGiven || TimeBudgetMs != 0 || DeadlineMs != 0;
+  }
 };
+
+bool parseOnErrorPolicy(const char *Text, OnErrorPolicy &Out) {
+  if (std::strcmp(Text, "abort") == 0)
+    Out = OnErrorPolicy::Abort;
+  else if (std::strcmp(Text, "fallback") == 0)
+    Out = OnErrorPolicy::Fallback;
+  else if (std::strcmp(Text, "skip") == 0)
+    Out = OnErrorPolicy::Skip;
+  else {
+    std::fprintf(stderr, "error: unknown --on-error policy '%s' "
+                 "(want abort, fallback, or skip)\n", Text);
+    return false;
+  }
+  return true;
+}
 
 bool parseArgs(int Argc, char **Argv, ToolOptions &Options) {
   for (int I = 1; I != Argc; ++I) {
@@ -161,6 +203,27 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Options) {
       if (!V)
         return false;
       Options.BatchFile = V;
+    } else if (Arg == "--on-error") {
+      const char *V = needValue("--on-error");
+      if (!V || !parseOnErrorPolicy(V, Options.OnError))
+        return false;
+      Options.OnErrorGiven = true;
+    } else if (Arg.rfind("--on-error=", 0) == 0) {
+      if (!parseOnErrorPolicy(Arg.c_str() + std::strlen("--on-error="),
+                              Options.OnError))
+        return false;
+      Options.OnErrorGiven = true;
+    } else if (Arg == "--time-budget") {
+      if (!needInt("--time-budget", Options.TimeBudgetMs))
+        return false;
+    } else if (Arg == "--deadline") {
+      if (!needInt("--deadline", Options.DeadlineMs))
+        return false;
+    } else if (Arg == "--checkpoint") {
+      const char *V = needValue("--checkpoint");
+      if (!V)
+        return false;
+      Options.CheckpointFile = V;
     } else if (Arg == "--dot") {
       Options.EmitDot = true;
     } else if (Arg == "--bounds") {
@@ -197,7 +260,28 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Options) {
                   "  --batch FILE  align every program listed in FILE "
                   "('prog.cfg [profile.prof]'\n"
                   "                per line, '#' comments) through one "
-                  "shared cache session\n");
+                  "shared cache session;\n"
+                  "                malformed entries are skipped with an "
+                  "error line (exit 3)\n"
+                  "  --on-error P  per-procedure failure policy: abort "
+                  "(default, exit 2),\n"
+                  "                fallback (degrade greedy -> original, "
+                  "exit 0), or skip\n"
+                  "                (keep the original layout, exit 0)\n"
+                  "  --time-budget MS  per-procedure solver budget; a "
+                  "trip is handled per\n"
+                  "                --on-error (tripped results are never "
+                  "cached)\n"
+                  "  --deadline MS whole-run budget; once expired, "
+                  "remaining procedures\n"
+                  "                degrade per --on-error\n"
+                  "  --checkpoint FILE  batch resume journal: completed "
+                  "programs are appended\n"
+                  "                and skipped on the next run\n"
+                  "exit codes: 0 success, 1 usage/input/verify error, "
+                  "2 aborted under\n"
+                  "--on-error=abort, 3 batch finished with failed "
+                  "entries\n");
       return false;
     } else if (!Arg.empty() && Arg[0] != '-') {
       Options.File = Arg;
@@ -369,6 +453,16 @@ bool runVerified(const Program &Prog, const ProgramProfile &Counts,
   return !Diags.hasErrors();
 }
 
+/// The balign-shield stderr report: one line per degraded procedure
+/// plus the greppable counter summary. stderr only, so stdout stays
+/// byte-comparable with unshielded runs.
+void reportShieldOutcome(const ProgramAlignment &Result, size_t NumProcs) {
+  for (const ProcedureFailure &F : Result.Failures.Failures)
+    std::fprintf(stderr, "shield: %s\n", F.str().c_str());
+  std::fprintf(stderr, "shield: %s\n",
+               Result.Failures.summary(NumProcs).c_str());
+}
+
 /// Cache/batch-mode alignment of one program: verify first when asked
 /// (which also warms the cache through the store path), then the
 /// pipeline report.
@@ -380,6 +474,8 @@ bool alignOneProgram(const Program &Prog, const ProgramProfile &Counts,
     return false;
   ProgramAlignment Result = alignProgram(Prog, Counts, AlignOptions);
   reportPipelineAlignment(Prog, Counts, Result, Options);
+  if (Options.shieldActive())
+    reportShieldOutcome(Result, Prog.numProcedures());
   return true;
 }
 
@@ -401,30 +497,87 @@ int runBatch(const ToolOptions &Options, AlignmentOptions &AlignOptions) {
                  Options.BatchFile.c_str());
     return 1;
   }
-  size_t Entry = 0;
+
+  // Checkpointed resume: programs recorded by a previous run are skipped
+  // up front, and every completed program is appended as it finishes, so
+  // a killed batch restarts where it left off. The file is deliberately
+  // kept on success — rerunning a finished batch is then a cheap no-op,
+  // and removing it is the explicit way to force a full rerun.
+  std::set<std::string> Done;
+  if (!Options.CheckpointFile.empty()) {
+    std::ifstream Ck(Options.CheckpointFile);
+    std::string DoneLine;
+    while (std::getline(Ck, DoneLine))
+      if (!DoneLine.empty())
+        Done.insert(DoneLine);
+  }
+
+  size_t Printed = 0, Attempted = 0, Failed = 0, Resumed = 0;
   std::string Line;
   while (std::getline(In, Line)) {
     std::string ProgramFile, ProfileFile;
     if (!parseBatchLine(Line, ProgramFile, ProfileFile))
       continue;
+    if (Done.count(ProgramFile)) {
+      ++Resumed;
+      std::fprintf(stderr, "note: skipping '%s' (already in checkpoint "
+                   "'%s')\n",
+                   ProgramFile.c_str(), Options.CheckpointFile.c_str());
+      continue;
+    }
+    ++Attempted;
+    // A malformed entry must not sink the rest of the batch: report it,
+    // count it, move on (the batch exits 3 instead of 0).
     std::optional<Program> Prog = loadProgram(ProgramFile, false);
-    if (!Prog)
-      return 1;
+    if (!Prog) {
+      ++Failed;
+      std::fprintf(stderr, "error: batch entry '%s': unreadable or "
+                   "unparsable program; continuing\n",
+                   ProgramFile.c_str());
+      continue;
+    }
     std::optional<ProgramProfile> Counts =
         obtainProfile(*Prog, ProfileFile, Options);
-    if (!Counts)
-      return 1;
-    if (Entry++)
+    if (!Counts) {
+      ++Failed;
+      std::fprintf(stderr, "error: batch entry '%s': bad profile '%s'; "
+                   "continuing\n",
+                   ProgramFile.c_str(), ProfileFile.c_str());
+      continue;
+    }
+    if (Printed++)
       std::printf("\n");
     std::printf("== %s ==\n", ProgramFile.c_str());
-    if (!alignOneProgram(*Prog, *Counts, Options, AlignOptions))
-      return 1;
+    if (!alignOneProgram(*Prog, *Counts, Options, AlignOptions)) {
+      ++Failed;
+      std::fprintf(stderr, "error: batch entry '%s': verification "
+                   "failed; continuing\n",
+                   ProgramFile.c_str());
+      continue;
+    }
+    if (!Options.CheckpointFile.empty()) {
+      std::ofstream Ck(Options.CheckpointFile, std::ios::app);
+      if (Ck)
+        Ck << ProgramFile << "\n";
+      else
+        std::fprintf(stderr, "warning: cannot append to checkpoint "
+                     "'%s'\n",
+                     Options.CheckpointFile.c_str());
+    }
   }
-  if (Entry == 0)
+  if (Attempted == 0 && Resumed == 0)
     std::fprintf(stderr, "warning: batch file '%s' lists no programs\n",
                  Options.BatchFile.c_str());
+  if (Failed) {
+    std::fprintf(stderr, "error: %zu of %zu batch entries failed\n",
+                 Failed, Attempted);
+    return 3;
+  }
   return 0;
 }
+
+int runAlignment(const ToolOptions &Options, AlignmentOptions &AlignOptions,
+                 bool UsePipeline);
 
 } // namespace
 
@@ -433,18 +586,31 @@ int main(int Argc, char **Argv) {
   if (!parseArgs(Argc, Argv, Options))
     return 1;
 
-  bool UsePipeline = !Options.CacheDir.empty() || !Options.BatchFile.empty();
+  // The shield flags run through alignProgram, so they force the
+  // pipeline path just like --cache/--batch.
+  bool UsePipeline = !Options.CacheDir.empty() ||
+                     !Options.BatchFile.empty() || Options.shieldActive();
   if (UsePipeline && Options.AlignerGiven && Options.AlignerName != "tsp")
     std::fprintf(stderr,
-                 "warning: --aligner %s is ignored with --cache/--batch "
-                 "(the full pipeline reports greedy and tsp)\n",
+                 "warning: --aligner %s is ignored with "
+                 "--cache/--batch/--on-error (the full pipeline reports "
+                 "greedy and tsp)\n",
                  Options.AlignerName.c_str());
+  if (!Options.CheckpointFile.empty() && Options.BatchFile.empty())
+    std::fprintf(stderr,
+                 "warning: --checkpoint is only meaningful with --batch; "
+                 "ignored\n");
 
   AlignmentOptions AlignOptions;
   AlignOptions.Model = MachineModel::alpha21164();
   AlignOptions.Solver.Seed = Options.Seed;
   AlignOptions.ComputeBounds = Options.ComputeBounds;
   AlignOptions.Threads = Options.Threads;
+  AlignOptions.OnError = Options.OnError;
+  AlignOptions.ProcBudgetMs = Options.TimeBudgetMs;
+  Deadline RunDeadline(Options.DeadlineMs);
+  if (Options.DeadlineMs)
+    AlignOptions.RunDeadline = &RunDeadline;
   if (!Options.CacheDir.empty()) {
     AlignOptions.Cache = CacheMode::Disk;
     AlignOptions.CachePath = Options.CacheDir;
@@ -456,13 +622,44 @@ int main(int Argc, char **Argv) {
   CacheSession Cache(AlignOptions);
 
   int Exit = 0;
+  try {
+    Exit = runAlignment(Options, AlignOptions, UsePipeline);
+  } catch (const AlignmentAborted &E) {
+    // Exit 2 contract: a procedure failure under OnErrorPolicy::Abort
+    // (the default policy) aborts alignment.
+    std::fprintf(stderr, "error: alignment aborted: %s\n", E.what());
+    Exit = 2;
+  } catch (const FaultInjectedError &E) {
+    // The legacy single-aligner path has no per-procedure isolation;
+    // an injected fault escaping it is the same abort.
+    std::fprintf(stderr, "error: alignment aborted: %s\n", E.what());
+    Exit = 2;
+  } catch (const DeadlineExceeded &E) {
+    std::fprintf(stderr, "error: alignment aborted: %s\n", E.what());
+    Exit = 2;
+  }
+
+  if (Options.CacheStats) {
+    std::string Error;
+    if (!Cache.flush(&Error))
+      std::fprintf(stderr, "warning: cache flush failed: %s\n",
+                   Error.c_str());
+    std::fprintf(stderr, "cache: %s\n", Cache.stats().summary().c_str());
+  }
+  return Exit;
+}
+
+namespace {
+
+int runAlignment(const ToolOptions &Options, AlignmentOptions &AlignOptions,
+                 bool UsePipeline) {
   if (!Options.BatchFile.empty()) {
     if (!Options.File.empty())
       std::fprintf(stderr,
                    "warning: positional input '%s' is ignored in --batch "
                    "mode\n",
                    Options.File.c_str());
-    Exit = runBatch(Options, AlignOptions);
+    return runBatch(Options, AlignOptions);
   } else {
     std::optional<Program> Prog = loadProgram(Options.File, true);
     if (!Prog)
@@ -486,7 +683,7 @@ int main(int Argc, char **Argv) {
       // --bounds changes the fingerprint (bounds are part of the cached
       // artifact), and --verify always computes them; align the two so
       // a verified run warms the cache the report then hits.
-      Exit = alignOneProgram(*Prog, *Counts, Options, AlignOptions) ? 0 : 1;
+      return alignOneProgram(*Prog, *Counts, Options, AlignOptions) ? 0 : 1;
     } else {
       // Legacy single-aligner path, byte-compatible with prior releases.
       std::unique_ptr<Aligner> TheAligner = makeAligner(Options.AlignerName);
@@ -555,13 +752,7 @@ int main(int Argc, char **Argv) {
       std::printf("\n%s", Report.render().c_str());
     }
   }
-
-  if (Options.CacheStats) {
-    std::string Error;
-    if (!Cache.flush(&Error))
-      std::fprintf(stderr, "warning: cache flush failed: %s\n",
-                   Error.c_str());
-    std::fprintf(stderr, "cache: %s\n", Cache.stats().summary().c_str());
-  }
-  return Exit;
+  return 0;
 }
+
+} // namespace

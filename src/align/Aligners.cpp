@@ -3,6 +3,7 @@
 #include "align/Aligners.h"
 
 #include "align/Penalty.h"
+#include "robust/FaultInjector.h"
 
 #include <algorithm>
 #include <cassert>
@@ -132,6 +133,10 @@ Layout GreedyAligner::align(const Procedure &Proc,
                             const ProcedureProfile &Train,
                             const MachineModel &Model) const {
   (void)Model; // Frequency-greedy ignores the machine model (paper 2.1).
+  // balign-shield fault site: the greedy aligner is the middle rung of
+  // the degradation ladder, so it needs its own probe to exercise the
+  // fall-through to the original layout.
+  FaultInjector::instance().throwIfFault(FaultSite::AlignGreedy);
   std::vector<GreedyEdge> Edges;
   for (BlockId B = 0; B != Proc.numBlocks(); ++B) {
     const std::vector<BlockId> &Succs = Proc.successors(B);

@@ -4,10 +4,16 @@
 
 #include "align/Penalty.h"
 #include "analysis/Diagnostics.h"
+#include "robust/FaultInjector.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 
+#include <optional>
+
 using namespace balign;
+
+AlignmentAborted::AlignmentAborted(ProcedureFailure F)
+    : std::runtime_error(F.str()), Failure(std::move(F)) {}
 
 // Arity mismatches between a program and its profiles are caller bugs
 // that would otherwise surface as silent out-of-bounds reads; fail
@@ -103,6 +109,18 @@ struct ProcedureTask {
   AlignmentTsp Atsp;
   DtspSolution Solution;
   IteratedOptOptions SolverOptions;
+
+  /// Failure this procedure's isolation caught, if any (balign-shield);
+  /// the drain loop appends these to the report in program order, or
+  /// throws the first one under OnErrorPolicy::Abort.
+  std::optional<ProcedureFailure> Failure;
+};
+
+/// Resource-cap trips on the DTSP reduction; caught at the procedure
+/// boundary and mapped to FailureKind::ResourceCap.
+class ResourceCapError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
 };
 
 /// Runs every stage for procedure \p I. Pure function of its arguments:
@@ -113,31 +131,17 @@ struct ProcedureTask {
 /// disables cache *lookups*, because a hit has no stage artifacts for
 /// the AfterMatrix/AfterSolve hooks to observe; computed results are
 /// still offered to the cache.
-ProcedureTask alignOneProcedure(const Procedure &Proc,
-                                const ProcedureProfile &Profile,
-                                const AlignmentOptions &Options, size_t I,
-                                bool KeepArtifacts) {
-  ProcedureTask Task;
+/// The full alignment path (greedy + DTSP solve + bounds) for a profiled
+/// procedure. Throws on injected faults, deadline expiry, or any stage
+/// failure; the shielded wrapper below catches at the procedure boundary.
+void alignFullPath(const Procedure &Proc, const ProcedureProfile &Profile,
+                   const AlignmentOptions &Options, size_t I,
+                   bool KeepArtifacts, const Deadline *Budget,
+                   ProcedureTask &Task) {
   ProcedureAlignment &PA = Task.PA;
-
-  PA.OriginalLayout = Layout::original(Proc);
-  PA.OriginalPenalty = evaluateLayout(Proc, PA.OriginalLayout, Options.Model,
-                                      Profile, Profile);
-
-  // Unprofiled procedures are left alone, as a profile-guided compiler
-  // leaves untouched code in place; rearranging on a zero-cost matrix
-  // would pick an arbitrary (and, under a different input, possibly
-  // terrible) permutation. They also bypass the cache: the skip path is
-  // cheaper than a fingerprint.
-  if (Profile.executedBranches(Proc) == 0) {
-    PA.GreedyLayout = PA.OriginalLayout;
-    PA.TspLayout = PA.OriginalLayout;
-    return Task;
-  }
-
   ProcedureResultCache *Cache = Options.CacheImpl;
   if (Cache && !KeepArtifacts && Cache->lookup(Proc, Profile, Options, I, PA))
-    return Task; // Validated hit; all stage timers stay at zero.
+    return; // Validated hit; all stage timers stay at zero.
 
   CpuStopwatch GreedyTimer;
   PA.GreedyLayout = GreedyAligner().align(Proc, Profile, Options.Model);
@@ -155,6 +159,7 @@ ProcedureTask alignOneProcedure(const Procedure &Proc,
   // makes parallel and serial runs bit-identical.
   IteratedOptOptions SolverOptions = Options.Solver;
   SolverOptions.Seed = derivedSolverSeed(Options.Solver.Seed, I);
+  SolverOptions.Budget = Budget;
   DtspSolution Solution = solveDirectedTsp(Atsp.Tsp, SolverOptions);
   Task.SolverSeconds = SolverTimer.seconds();
 
@@ -171,6 +176,9 @@ ProcedureTask alignOneProcedure(const Procedure &Proc,
     Task.BoundsSeconds = BoundsTimer.seconds();
   }
 
+  // Only full-path results are cached: a degraded result is not what
+  // recomputation of this fingerprint would produce, so the fallback
+  // wrapper never reaches this store.
   if (Cache)
     Cache->store(Proc, Profile, Options, I, PA);
 
@@ -179,7 +187,126 @@ ProcedureTask alignOneProcedure(const Procedure &Proc,
     Task.Atsp = std::move(Atsp);
     Task.Solution = std::move(Solution);
     Task.SolverOptions = SolverOptions;
+    // The budget points at the worker's stack frame; the drain loop
+    // replays hooks long after it is gone, and a replayed solve must
+    // not re-observe (or dangle on) the original run's deadline.
+    Task.SolverOptions.Budget = nullptr;
   }
+}
+
+/// The degradation ladder (balign-shield): called after the full path
+/// failed with \p Failure. Resets any partial full-path state, then
+/// ships the greedy layout (retrying the greedy aligner — it may itself
+/// be the failing stage) or, failing that, the original order, which is
+/// always available. Under OnErrorPolicy::Skip the ladder is not walked.
+void fallbackProcedure(const Procedure &Proc, const ProcedureProfile &Profile,
+                       const AlignmentOptions &Options, ProcedureTask &Task,
+                       ProcedureFailure Failure) {
+  ProcedureAlignment &PA = Task.PA;
+  PA.Bounds = PenaltyBounds();
+  PA.SolverRuns = 0;
+  PA.RunsFindingBest = 0;
+  Task.RanSolver = false;
+
+  bool TryGreedy = Options.OnError != OnErrorPolicy::Skip;
+  Failure.Skipped = Options.OnError == OnErrorPolicy::Skip;
+  if (TryGreedy) {
+    try {
+      PA.GreedyLayout = GreedyAligner().align(Proc, Profile, Options.Model);
+      PA.GreedyPenalty = evaluateLayout(Proc, PA.GreedyLayout, Options.Model,
+                                        Profile, Profile);
+      PA.TspLayout = PA.GreedyLayout;
+      PA.TspPenalty = PA.GreedyPenalty;
+      PA.Rung = LadderRung::Greedy;
+      Failure.Rung = LadderRung::Greedy;
+      Task.Failure = std::move(Failure);
+      return;
+    } catch (const std::exception &) {
+      // Fall through to the bottom rung.
+    }
+  }
+  PA.GreedyLayout = PA.OriginalLayout;
+  PA.GreedyPenalty = PA.OriginalPenalty;
+  PA.TspLayout = PA.OriginalLayout;
+  PA.TspPenalty = PA.OriginalPenalty;
+  PA.Rung = LadderRung::Original;
+  Failure.Rung = LadderRung::Original;
+  Task.Failure = std::move(Failure);
+}
+
+ProcedureTask alignOneProcedure(const Procedure &Proc,
+                                const ProcedureProfile &Profile,
+                                const AlignmentOptions &Options, size_t I,
+                                bool KeepArtifacts) {
+  ProcedureTask Task;
+  ProcedureAlignment &PA = Task.PA;
+
+  PA.OriginalLayout = Layout::original(Proc);
+  PA.OriginalPenalty = evaluateLayout(Proc, PA.OriginalLayout, Options.Model,
+                                      Profile, Profile);
+
+  // Unprofiled procedures are left alone, as a profile-guided compiler
+  // leaves untouched code in place; rearranging on a zero-cost matrix
+  // would pick an arbitrary (and, under a different input, possibly
+  // terrible) permutation. They also bypass the cache and the shield:
+  // keeping the original layout is the designed behavior, never a
+  // failure, so no fault site fires for them.
+  if (Profile.executedBranches(Proc) == 0) {
+    PA.GreedyLayout = PA.OriginalLayout;
+    PA.TspLayout = PA.OriginalLayout;
+    return Task;
+  }
+
+  FailureKind Kind;
+  std::string What;
+  try {
+    // balign-shield fault site: the coarsest probe, standing in for any
+    // failure of the per-procedure task itself. Placed inside the
+    // isolation boundary (not in the thread pool, which knows nothing
+    // of procedures) so a firing task degrades like any other failure.
+    FaultInjector::instance().throwIfFault(FaultSite::PoolTask);
+    if (Options.RunDeadline)
+      Options.RunDeadline->check("whole-run alignment");
+    size_t Cities = Proc.numBlocks() + 1; // Blocks + the dummy city.
+    if (Options.MaxTspCities && Cities > Options.MaxTspCities)
+      throw ResourceCapError(
+          "DTSP instance of " + std::to_string(Cities) +
+          " cities exceeds the cap of " +
+          std::to_string(Options.MaxTspCities));
+    // The symmetric transform's 2N x 2N matrix of 8-byte costs is the
+    // dominant allocation of the full path.
+    size_t MatrixBytes = 4 * Cities * Cities * sizeof(int64_t);
+    if (Options.MaxTspMatrixBytes && MatrixBytes > Options.MaxTspMatrixBytes)
+      throw ResourceCapError(
+          "symmetric transform of " + std::to_string(MatrixBytes) +
+          " bytes exceeds the cap of " +
+          std::to_string(Options.MaxTspMatrixBytes));
+    Deadline ProcBudget(Options.ProcBudgetMs, Options.Clock,
+                        Options.RunDeadline);
+    const Deadline *Budget =
+        (Options.ProcBudgetMs || Options.RunDeadline) ? &ProcBudget : nullptr;
+    alignFullPath(Proc, Profile, Options, I, KeepArtifacts, Budget, Task);
+    return Task;
+  } catch (const FaultInjectedError &E) {
+    Kind = FailureKind::Fault;
+    What = E.what();
+  } catch (const DeadlineExceeded &E) {
+    Kind = FailureKind::Deadline;
+    What = E.what();
+  } catch (const ResourceCapError &E) {
+    Kind = FailureKind::ResourceCap;
+    What = E.what();
+  } catch (const std::exception &E) {
+    Kind = FailureKind::Exception;
+    What = E.what();
+  }
+
+  ProcedureFailure Failure;
+  Failure.ProcIndex = I;
+  Failure.ProcName = Proc.getName();
+  Failure.Kind = Kind;
+  Failure.What = std::move(What);
+  fallbackProcedure(Proc, Profile, Options, Task, std::move(Failure));
   return Task;
 }
 
@@ -242,6 +369,13 @@ ProgramAlignment balign::alignProgram(const Program &Prog,
   Result.Procs.reserve(NumProcs);
   for (size_t I = 0; I != NumProcs; ++I) {
     ProcedureTask &Task = Tasks[I];
+    // Shield policy first: under Abort the first failure in program
+    // order throws — deterministic at any thread count, because workers
+    // record failures privately and this loop runs in program order.
+    if (Task.Failure && Options.OnError == OnErrorPolicy::Abort)
+      throw AlignmentAborted(std::move(*Task.Failure));
+    if (Task.Failure)
+      Result.Failures.Failures.push_back(std::move(*Task.Failure));
     Result.GreedySeconds += Task.GreedySeconds;
     Result.MatrixSeconds += Task.MatrixSeconds;
     Result.SolverSeconds += Task.SolverSeconds;

@@ -25,10 +25,13 @@
 #include "ir/CFG.h"
 #include "machine/MachineModel.h"
 #include "profile/Profile.h"
+#include "robust/Deadline.h"
+#include "robust/FailureReport.h"
 #include "tsp/HeldKarp.h"
 #include "tsp/IteratedOpt.h"
 
 #include <functional>
+#include <stdexcept>
 #include <vector>
 
 namespace balign {
@@ -113,6 +116,36 @@ public:
                      const ProcedureAlignment &Result) = 0;
 };
 
+/// What alignProgram does when a procedure's alignment fails — an
+/// exception escapes a stage, a deadline expires, a resource cap trips
+/// (balign-shield failure isolation).
+enum class OnErrorPolicy : uint8_t {
+  /// Propagate the first failure (program order) out of alignProgram as
+  /// AlignmentAborted. The default: failures stay loud unless the
+  /// caller opts into degradation.
+  Abort,
+  /// Walk the degradation ladder: retry with the greedy aligner, then
+  /// fall back to the original layout. The run completes; every
+  /// degraded procedure is recorded in ProgramAlignment::Failures.
+  Fallback,
+  /// Keep the failing procedure's original layout without retrying the
+  /// ladder (recorded with Skipped set).
+  Skip,
+};
+
+/// Thrown by alignProgram under OnErrorPolicy::Abort: carries the first
+/// per-procedure failure in program order (deterministic at any thread
+/// count).
+class AlignmentAborted : public std::runtime_error {
+public:
+  explicit AlignmentAborted(ProcedureFailure F);
+
+  const ProcedureFailure &failure() const { return Failure; }
+
+private:
+  ProcedureFailure Failure;
+};
+
 /// The solver-seed stream of procedure \p ProcIndex, derived from the
 /// root seed so results do not depend on procedure processing order.
 /// Shared between the pipeline (which solves with it) and the cache
@@ -156,6 +189,35 @@ struct AlignmentOptions {
 
   /// Verification instrumentation; empty (and free) by default.
   PipelineStageHooks Hooks;
+
+  //===--- balign-shield failure isolation --------------------------------===//
+
+  /// What to do when a procedure's alignment fails (see OnErrorPolicy).
+  /// With no armed faults, no budgets, and no caps nothing ever fails,
+  /// and every policy produces bit-identical results to the others.
+  OnErrorPolicy OnError = OnErrorPolicy::Abort;
+
+  /// Per-procedure wall-clock budget in milliseconds (0 = unlimited),
+  /// polled cooperatively inside the iterated 3-Opt solver. A trip is a
+  /// FailureKind::Deadline failure handled per OnError. Budget-tripped
+  /// procedures are never cached.
+  uint64_t ProcBudgetMs = 0;
+
+  /// Whole-run deadline (not owned, may be null). Chained as the parent
+  /// of every per-procedure budget and checked at procedure entry, so
+  /// once it expires every remaining procedure degrades per OnError.
+  const Deadline *RunDeadline = nullptr;
+
+  /// Resource caps on the DTSP reduction (0 = unlimited): a procedure
+  /// whose instance would exceed MaxTspCities cities (blocks + dummy) or
+  /// whose symmetric transform would exceed MaxTspMatrixBytes is a
+  /// FailureKind::ResourceCap failure handled per OnError.
+  size_t MaxTspCities = 0;
+  size_t MaxTspMatrixBytes = 0;
+
+  /// Clock for per-procedure budgets; empty = steadyClockMs. Tests
+  /// inject a ManualClock to drive deadline trips deterministically.
+  ClockFn Clock;
 };
 
 /// Per-procedure outcome.
@@ -171,6 +233,14 @@ struct ProcedureAlignment {
   PenaltyBounds Bounds;
   unsigned SolverRuns = 0;
   unsigned RunsFindingBest = 0;
+
+  /// Which degradation-ladder rung produced TspLayout: LadderRung::Tsp
+  /// unless balign-shield isolated a failure and degraded this
+  /// procedure (unprofiled keep-original procedures also stay at Tsp —
+  /// keeping their layout is the designed behavior, not degradation).
+  /// Not serialized by the cache: only full-path results are stored, so
+  /// a decoded hit's default is always correct.
+  LadderRung Rung = LadderRung::Tsp;
 };
 
 /// Whole-program outcome plus per-stage timing.
@@ -187,6 +257,11 @@ struct ProgramAlignment {
   double MatrixSeconds = 0.0;
   double SolverSeconds = 0.0;
   double BoundsSeconds = 0.0;
+
+  /// Every per-procedure failure balign-shield isolated, in program
+  /// order. Empty under OnErrorPolicy::Abort (the first failure throws
+  /// instead) and whenever nothing failed.
+  FailureReport Failures;
 
   uint64_t totalOriginalPenalty() const;
   uint64_t totalGreedyPenalty() const;

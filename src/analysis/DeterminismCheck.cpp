@@ -11,6 +11,7 @@
 //===--------------------------------------------------------------------===//
 
 #include "analysis/Verifier.h"
+#include "robust/FaultInjector.h"
 
 using namespace balign;
 
@@ -27,6 +28,13 @@ size_t balign::checkDeterminism(const Procedure &Proc,
                                 DiagnosticEngine &Diags) {
   size_t Before = Diags.errorCount();
   const std::string &Name = Proc.getName();
+
+  // The replay re-executes production stages that carry balign-shield
+  // fault sites. Suppress the injector for this thread: a replay must
+  // neither trip an armed fault (the pipeline proper already survived
+  // this procedure) nor consume hits the pipeline's deterministic hit
+  // sequence would otherwise see.
+  FaultInjector::ScopedSuppress SuppressFaults;
 
   // Stage 1: matrix build.
   AlignmentTsp Replayed = buildAlignmentTsp(Proc, Train, Model);

@@ -108,6 +108,10 @@ const char *balign::checkIdName(CheckId Check) {
     return "pipeline.layout-arity";
   case CheckId::PipelineCacheNotAttached:
     return "pipeline.cache-not-attached";
+  case CheckId::ShieldFallback:
+    return "shield.fallback";
+  case CheckId::ShieldSkipped:
+    return "shield.skipped";
   }
   assert(false && "unknown check id");
   return "?";

@@ -104,6 +104,11 @@ enum class CheckId : uint16_t {
   PipelineProfileShape,     ///< pipeline.profile-shape
   PipelineLayoutArity,      ///< pipeline.layout-arity
   PipelineCacheNotAttached, ///< pipeline.cache-not-attached
+
+  // shield: balign-shield failure isolation (surfaced as warnings — the
+  // shipped layout is legal, just produced by a lower ladder rung).
+  ShieldFallback, ///< shield.fallback
+  ShieldSkipped,  ///< shield.skipped
 };
 
 /// Returns the stable printable ID, e.g. "cfg.unreachable-block".

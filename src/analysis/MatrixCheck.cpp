@@ -20,6 +20,7 @@
 
 #include "align/Penalty.h"
 #include "analysis/Verifier.h"
+#include "robust/FaultInjector.h"
 #include "tsp/Transform.h"
 
 #include <algorithm>
@@ -34,6 +35,9 @@ static size_t auditTransform(const Procedure &Proc, const AlignmentTsp &Atsp,
   const std::string &Name = Proc.getName();
   const DirectedTsp &Dtsp = Atsp.Tsp;
   size_t N = Dtsp.numCities();
+  // The audit re-runs the transform, which carries a balign-shield fault
+  // site; verification must neither trip it nor consume a hit.
+  FaultInjector::ScopedSuppress SuppressFaults;
   SymmetricTransform T = transformToSymmetric(Dtsp);
 
   if (T.DirectedN != N || T.Sym.numCities() != 2 * N) {

@@ -104,5 +104,11 @@ ProgramAlignment balign::alignProgramVerified(const Program &Prog,
   PipelineVerifier Verifier(Diags, Verify);
   Verifier.verifyInputs(Prog, Train);
   Verifier.install(AlignOptions);
-  return alignProgram(Prog, Train, AlignOptions);
+  ProgramAlignment Alignment = alignProgram(Prog, Train, AlignOptions);
+  // Surface what balign-shield degraded alongside the verify findings:
+  // fallback layouts are legal (layout-check above covered them), but
+  // `--verify` readers should see exactly which procedures left the
+  // full path and why.
+  reportShieldFindings(Alignment, Diags);
+  return Alignment;
 }

@@ -1,0 +1,33 @@
+//===- analysis/ShieldCheck.cpp - balign-shield findings bridge -----------===//
+//
+// Part of the balign project (PLDI 1997 branch-alignment reproduction).
+//
+//===--------------------------------------------------------------------===//
+///
+/// \file
+/// The bridge from balign-shield's FailureReport into balign-verify's
+/// diagnostic stream: every isolated per-procedure failure becomes a
+/// shield.fallback (or shield.skipped) warning naming the procedure, the
+/// failure kind, and the degradation-ladder rung whose layout shipped.
+///
+//===--------------------------------------------------------------------===//
+
+#include "analysis/Verifier.h"
+
+#include "align/Pipeline.h"
+
+using namespace balign;
+
+size_t balign::reportShieldFindings(const ProgramAlignment &Alignment,
+                                    DiagnosticEngine &Diags) {
+  for (const ProcedureFailure &F : Alignment.Failures.Failures) {
+    CheckId Check = F.Skipped ? CheckId::ShieldSkipped
+                              : CheckId::ShieldFallback;
+    std::string Message = std::string(failureKindName(F.Kind)) + ": " +
+                          F.What + "; shipped rung=" +
+                          ladderRungName(F.Rung);
+    Diags.report(Severity::Warning, Check, "shield",
+                 DiagLocation::procedure(F.ProcName), std::move(Message));
+  }
+  return Alignment.Failures.size();
+}

@@ -62,6 +62,8 @@
 
 namespace balign {
 
+struct ProgramAlignment;
+
 /// How much verification effort to spend.
 enum class VerifyLevel : uint8_t {
   None,  ///< Verification disabled.
@@ -175,6 +177,20 @@ size_t checkDeterminism(const Procedure &Proc, const ProcedureProfile &Train,
                         const std::vector<City> &ExpectedTour,
                         int64_t ExpectedCost, const Layout &ExpectedLayout,
                         DiagnosticEngine &Diags);
+
+//===--------------------------------------------------------------------===//
+// 7. shield (balign-shield bridge)
+//===--------------------------------------------------------------------===//
+
+/// Surfaces every failure balign-shield isolated during \p Alignment as
+/// a structured warning — shield.fallback for procedures degraded down
+/// the ladder, shield.skipped for those kept at the original layout
+/// under OnErrorPolicy::Skip — so `--verify` output shows exactly what
+/// degraded and why. Warnings, not errors: the shipped layouts are
+/// legal (layout-check still covers them), just not the full-path
+/// result. Returns the number of findings reported.
+size_t reportShieldFindings(const ProgramAlignment &Alignment,
+                            DiagnosticEngine &Diags);
 
 } // namespace balign
 

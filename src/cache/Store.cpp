@@ -4,11 +4,13 @@
 
 #include "align/Penalty.h"
 #include "analysis/Verifier.h"
+#include "robust/FaultInjector.h"
 #include "support/Timer.h"
 
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 
 #include <unistd.h>
 
@@ -159,11 +161,12 @@ bool validateHit(const Procedure &Proc, const ProcedureProfile &Train,
 } // namespace
 
 std::string CacheStats::summary() const {
-  char Buffer[256];
+  char Buffer[384];
   std::snprintf(Buffer, sizeof(Buffer),
                 "hits=%llu misses=%llu stores=%llu evictions=%llu "
                 "invalidations=%llu entries=%llu payload-bytes=%llu "
-                "written-bytes=%llu lookup-s=%.3f store-s=%.3f",
+                "written-bytes=%llu retries=%llu load-failures=%llu "
+                "flush-failures=%llu lookup-s=%.3f store-s=%.3f",
                 static_cast<unsigned long long>(Hits),
                 static_cast<unsigned long long>(Misses),
                 static_cast<unsigned long long>(Stores),
@@ -172,6 +175,9 @@ std::string CacheStats::summary() const {
                 static_cast<unsigned long long>(Entries),
                 static_cast<unsigned long long>(PayloadBytes),
                 static_cast<unsigned long long>(BytesWritten),
+                static_cast<unsigned long long>(Retries),
+                static_cast<unsigned long long>(LoadFailures),
+                static_cast<unsigned long long>(FlushFailures),
                 LookupSeconds, StoreSeconds);
   return Buffer;
 }
@@ -196,12 +202,39 @@ AlignmentCache::AlignmentCache(std::string Dir, AlignmentCacheConfig Config)
 
 void AlignmentCache::loadFromDisk() {
   std::string Path = Dir + "/" + StoreFileName;
-  std::ifstream In(Path, std::ios::binary);
-  if (!In)
-    return; // No store yet: a cold cache, not an error.
-  std::vector<uint8_t> File((std::istreambuf_iterator<char>(In)),
-                            std::istreambuf_iterator<char>());
-  In.close();
+  std::vector<uint8_t> File;
+  bool Exists = false;
+  RetryOutcome Outcome = retryWithBackoff(
+      Config.DiskRetry,
+      [&](std::string *Error) {
+        // balign-shield fault site: a transient read failure on the
+        // store file, retried with bounded backoff.
+        if (FaultInjector::instance().shouldFail(FaultSite::CacheLoad)) {
+          if (Error)
+            *Error = "injected fault at 'cache.load'";
+          return false;
+        }
+        std::ifstream In(Path, std::ios::binary);
+        if (!In) {
+          Exists = false; // No store yet: a cold cache, not an error.
+          return true;
+        }
+        File.assign((std::istreambuf_iterator<char>(In)),
+                    std::istreambuf_iterator<char>());
+        Exists = true;
+        return true;
+      },
+      nullptr, Config.RetrySleep);
+  Stats.Retries += Outcome.Attempts > 1 ? Outcome.Attempts - 1 : 0;
+  if (!Outcome.Succeeded) {
+    // Persistent read failure: degrade to a cold cache. Every lookup
+    // recomputes (correct, just slower), and the next flush rebuilds
+    // the store from scratch.
+    ++Stats.LoadFailures;
+    return;
+  }
+  if (!Exists)
+    return;
 
   if (File.size() < HeaderBytes ||
       std::memcmp(File.data(), StoreMagic, sizeof(StoreMagic)) != 0) {
@@ -350,6 +383,8 @@ bool AlignmentCache::flush(std::string *Error) {
   std::lock_guard<std::mutex> Lock(Mutex);
   if (Dir.empty())
     return true;
+  if (DiskDisabled)
+    return true; // Downgraded to memory-only; nothing left to persist.
 
   std::vector<uint8_t> File;
   File.reserve(HeaderBytes);
@@ -367,36 +402,62 @@ bool AlignmentCache::flush(std::string *Error) {
            entryChecksum(Key.Hi, Key.Lo, E.Payload.data(), E.Payload.size()));
   }
 
-  std::error_code Ec;
-  std::filesystem::create_directories(Dir, Ec);
-  if (Ec) {
-    if (Error)
-      *Error = "cannot create cache directory '" + Dir +
-               "': " + Ec.message();
-    return false;
-  }
   std::string TmpPath =
       Dir + "/" + StoreFileName + ".tmp." + std::to_string(::getpid());
-  {
-    std::ofstream Out(TmpPath, std::ios::binary | std::ios::trunc);
-    if (!Out ||
-        !Out.write(reinterpret_cast<const char *>(File.data()),
-                   static_cast<std::streamsize>(File.size()))) {
-      if (Error)
-        *Error = "cannot write '" + TmpPath + "'";
-      return false;
-    }
-  }
-  std::filesystem::rename(TmpPath, Dir + "/" + StoreFileName, Ec);
-  if (Ec) {
-    std::filesystem::remove(TmpPath, Ec);
+  std::string FlushError;
+  RetryOutcome Outcome = retryWithBackoff(
+      Config.DiskRetry,
+      [&](std::string *AttemptError) {
+        // balign-shield fault site: a transient write failure anywhere
+        // in the atomic tmp-write-then-rename, retried with bounded
+        // backoff.
+        if (FaultInjector::instance().shouldFail(FaultSite::CacheFlush)) {
+          if (AttemptError)
+            *AttemptError = "injected fault at 'cache.flush'";
+          return false;
+        }
+        std::error_code Ec;
+        std::filesystem::create_directories(Dir, Ec);
+        if (Ec) {
+          if (AttemptError)
+            *AttemptError = "cannot create cache directory '" + Dir +
+                            "': " + Ec.message();
+          return false;
+        }
+        {
+          std::ofstream Out(TmpPath, std::ios::binary | std::ios::trunc);
+          if (!Out ||
+              !Out.write(reinterpret_cast<const char *>(File.data()),
+                         static_cast<std::streamsize>(File.size()))) {
+            if (AttemptError)
+              *AttemptError = "cannot write '" + TmpPath + "'";
+            return false;
+          }
+        }
+        std::filesystem::rename(TmpPath, Dir + "/" + StoreFileName, Ec);
+        if (Ec) {
+          std::filesystem::remove(TmpPath, Ec);
+          if (AttemptError)
+            *AttemptError = "cannot replace store file in '" + Dir +
+                            "': " + Ec.message();
+          return false;
+        }
+        return true;
+      },
+      &FlushError, Config.RetrySleep);
+  Stats.Retries += Outcome.Attempts > 1 ? Outcome.Attempts - 1 : 0;
+  Stats.StoreSeconds += Timer.seconds();
+  if (!Outcome.Succeeded) {
+    // Persistent write failure: downgrade to memory-only so the rest of
+    // the run neither blocks on a broken disk nor loses correctness —
+    // only warm-start persistence is sacrificed.
+    ++Stats.FlushFailures;
+    DiskDisabled = true;
     if (Error)
-      *Error = "cannot replace store file in '" + Dir +
-               "': " + Ec.message();
+      *Error = FlushError + " (cache downgraded to memory-only)";
     return false;
   }
   Stats.BytesWritten += File.size();
-  Stats.StoreSeconds += Timer.seconds();
   return true;
 }
 
@@ -431,7 +492,10 @@ CacheSession::CacheSession(AlignmentOptions &Options,
 
 CacheSession::~CacheSession() {
   if (Impl) {
-    Impl->flush();
+    std::string FlushError;
+    if (!Impl->flush(&FlushError))
+      std::cerr << "balign: warning: cache flush failed: " << FlushError
+                << "\n";
     if (Options->CacheImpl == Impl.get())
       Options->CacheImpl = nullptr;
   }

@@ -43,6 +43,7 @@
 
 #include "align/Pipeline.h"
 #include "cache/Fingerprint.h"
+#include "robust/Retry.h"
 
 #include <cstdint>
 #include <list>
@@ -65,6 +66,9 @@ struct CacheStats {
   uint64_t Entries = 0;       ///< Entries currently resident.
   uint64_t PayloadBytes = 0;  ///< Their total payload size.
   uint64_t BytesWritten = 0;  ///< Bytes flushed to disk so far.
+  uint64_t Retries = 0;       ///< Disk attempts repeated after a failure.
+  uint64_t LoadFailures = 0;  ///< Store reads that failed even with retry.
+  uint64_t FlushFailures = 0; ///< Store writes that failed even with retry.
   double LookupSeconds = 0.0; ///< CPU time spent in lookup().
   double StoreSeconds = 0.0;  ///< CPU time spent in store() + flush().
 
@@ -82,6 +86,14 @@ struct AlignmentCacheConfig {
   /// re-evaluation). Only tests that measure raw lookup cost turn this
   /// off.
   bool ValidateHits = true;
+
+  /// balign-shield: disk reads and writes retry transient failures with
+  /// bounded exponential backoff before giving up.
+  RetryPolicy DiskRetry;
+
+  /// Clock injection for the backoff sleeps; null means really sleep.
+  /// Tests pass a recording stub so retry runs take no wall time.
+  SleepFn RetrySleep;
 };
 
 /// Checksum guarding one store entry: a fingerprint-hash over the key
@@ -127,7 +139,11 @@ public:
   /// Entries currently resident.
   size_t size() const;
 
-  bool isDiskBacked() const { return !Dir.empty(); }
+  /// False in memory mode, and after a persistent flush failure
+  /// downgraded the cache to memory-only (balign-shield graceful
+  /// degradation: alignment results stay correct, only persistence is
+  /// lost).
+  bool isDiskBacked() const { return !Dir.empty() && !DiskDisabled; }
 
 private:
   struct Entry {
@@ -142,6 +158,7 @@ private:
 
   mutable std::mutex Mutex;
   std::string Dir; ///< Empty for memory-only mode.
+  bool DiskDisabled = false; ///< Set after a persistent flush failure.
   AlignmentCacheConfig Config;
   CacheStats Stats;
 

@@ -2,6 +2,8 @@
 
 #include "profile/ProfileIO.h"
 
+#include "robust/FaultInjector.h"
+
 #include <cassert>
 #include <map>
 #include <sstream>
@@ -93,6 +95,13 @@ std::optional<ProgramProfile>
 balign::parseProgramProfile(const Program &Prog, const std::string &Text,
                             std::string *Error) {
   ProfileParser P(Text, Error);
+  // balign-shield fault site: a corrupt profile record manifests to
+  // callers exactly like this injected failure — an error return through
+  // the parser's normal channel, never an exception.
+  if (FaultInjector::instance().shouldFail(FaultSite::ProfileParse)) {
+    P.fail("injected fault at 'profile.parse'");
+    return std::nullopt;
+  }
   std::vector<std::string> Tokens;
   if (!P.nextLine(Tokens) || Tokens.size() != 2 || Tokens[0] != "profile") {
     P.fail("expected 'profile <name>' header");

@@ -1,0 +1,14 @@
+//===- robust/Deadline.cpp ------------------------------------------------===//
+
+#include "robust/Deadline.h"
+
+#include <chrono>
+
+using namespace balign;
+
+uint64_t balign::steadyClockMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}

@@ -1,0 +1,258 @@
+//===- robust/FaultInjector.cpp -------------------------------------------===//
+
+#include "robust/FaultInjector.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace balign;
+
+namespace {
+
+/// SplitMix64: the seeded per-hit coin of FaultSpec::Mode::Rate.
+uint64_t splitmix64(uint64_t Z) {
+  Z += 0x9e3779b97f4a7c15ULL;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+/// Suppression depth of the current thread (ScopedSuppress nests).
+thread_local unsigned SuppressDepth = 0;
+
+/// Strict decimal parse for spec parameters; rejects empty, signs,
+/// leading junk, and overflow.
+bool parseSpecInt(const std::string &Text, uint64_t &Out) {
+  if (Text.empty() || Text.size() > 19)
+    return false;
+  Out = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9')
+      return false;
+    Out = Out * 10 + static_cast<uint64_t>(C - '0');
+  }
+  return true;
+}
+
+} // namespace
+
+const char *balign::faultSiteName(FaultSite Site) {
+  switch (Site) {
+  case FaultSite::ProfileParse:
+    return "profile.parse";
+  case FaultSite::TspTransform:
+    return "tsp.transform";
+  case FaultSite::TspSolve:
+    return "tsp.solve";
+  case FaultSite::AlignGreedy:
+    return "align.greedy";
+  case FaultSite::PoolTask:
+    return "pool.task";
+  case FaultSite::CacheLoad:
+    return "cache.load";
+  case FaultSite::CacheFlush:
+    return "cache.flush";
+  }
+  return "?";
+}
+
+std::optional<FaultSite> balign::faultSiteByName(const std::string &Name) {
+  for (size_t I = 0; I != NumFaultSites; ++I) {
+    FaultSite Site = static_cast<FaultSite>(I);
+    if (Name == faultSiteName(Site))
+      return Site;
+  }
+  return std::nullopt;
+}
+
+bool FaultSpec::fires(uint64_t Hit) const {
+  switch (M) {
+  case Mode::Never:
+    return false;
+  case Mode::Always:
+    return true;
+  case Mode::Once:
+    return Hit == 1;
+  case Mode::Nth:
+    return Hit == K;
+  case Mode::Every:
+    return K != 0 && Hit % K == 0;
+  case Mode::Count:
+    return Hit <= K;
+  case Mode::Rate:
+    return D != 0 && splitmix64(Seed ^ Hit) % D < K;
+  }
+  return false;
+}
+
+std::optional<FaultSpec> FaultSpec::parse(const std::string &Text,
+                                          std::string *Error) {
+  auto fail = [&](const std::string &Message) -> std::optional<FaultSpec> {
+    if (Error)
+      *Error = Message;
+    return std::nullopt;
+  };
+  if (Text == "always")
+    return always();
+  if (Text == "once")
+    return once();
+  size_t Eq = Text.find('=');
+  if (Eq == std::string::npos || Eq + 1 == Text.size())
+    return fail("unknown fault mode '" + Text +
+                "' (want always, once, nth=K, every=K, count=K, or "
+                "rate=N/D@S)");
+  std::string Mode = Text.substr(0, Eq);
+  std::string Arg = Text.substr(Eq + 1);
+  uint64_t K = 0;
+  if (Mode == "nth" || Mode == "every" || Mode == "count") {
+    if (!parseSpecInt(Arg, K) || K == 0)
+      return fail("fault mode '" + Mode + "' wants a positive integer, got '" +
+                  Arg + "'");
+    if (Mode == "nth")
+      return nth(K);
+    if (Mode == "every")
+      return every(K);
+    return count(K);
+  }
+  if (Mode == "rate") {
+    size_t Slash = Arg.find('/');
+    size_t At = Arg.find('@');
+    if (Slash == std::string::npos || At == std::string::npos || At < Slash)
+      return fail("fault mode 'rate' wants N/D@SEED, got '" + Arg + "'");
+    uint64_t Num = 0, Den = 0, Seed = 0;
+    if (!parseSpecInt(Arg.substr(0, Slash), Num) ||
+        !parseSpecInt(Arg.substr(Slash + 1, At - Slash - 1), Den) ||
+        !parseSpecInt(Arg.substr(At + 1), Seed) || Den == 0)
+      return fail("fault mode 'rate' wants N/D@SEED with D > 0, got '" + Arg +
+                  "'");
+    return rate(Num, Den, Seed);
+  }
+  return fail("unknown fault mode '" + Mode + "'");
+}
+
+FaultInjectedError::FaultInjectedError(FaultSite Site)
+    : std::runtime_error(std::string("injected fault at '") +
+                         faultSiteName(Site) + "'"),
+      Site(Site) {}
+
+FaultInjector &FaultInjector::instance() {
+  static FaultInjector TheInjector;
+  static std::once_flag EnvOnce;
+  std::call_once(EnvOnce, [] { TheInjector.loadEnvOnce(); });
+  return TheInjector;
+}
+
+void FaultInjector::loadEnvOnce() {
+  const char *Env = std::getenv("BALIGN_FAULT");
+  if (!Env || !*Env)
+    return;
+  std::string Error;
+  if (!armFromSpec(Env, &Error)) {
+    // A mistyped CI spec must fail the run loudly, not fake a green
+    // sweep with no faults armed.
+    std::fprintf(stderr, "balign fatal: BALIGN_FAULT: %s\n", Error.c_str());
+    std::abort();
+  }
+}
+
+void FaultInjector::arm(FaultSite Site, FaultSpec Spec) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  size_t I = static_cast<size_t>(Site);
+  bool WasArmed = Specs[I].M != FaultSpec::Mode::Never;
+  bool IsArmed = Spec.M != FaultSpec::Mode::Never;
+  Specs[I] = Spec;
+  Hits[I] = 0;
+  if (IsArmed != WasArmed)
+    ArmedCount.fetch_add(IsArmed ? 1 : -1, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm(FaultSite Site) { arm(Site, FaultSpec::never()); }
+
+void FaultInjector::reset() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Specs.fill(FaultSpec::never());
+  Hits.fill(0);
+  ArmedCount.store(0, std::memory_order_relaxed);
+}
+
+bool FaultInjector::shouldFail(FaultSite Site) {
+  if (ArmedCount.load(std::memory_order_relaxed) == 0)
+    return false;
+  if (SuppressDepth != 0)
+    return false;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  size_t I = static_cast<size_t>(Site);
+  uint64_t Hit = ++Hits[I];
+  return Specs[I].fires(Hit);
+}
+
+uint64_t FaultInjector::hits(FaultSite Site) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Hits[static_cast<size_t>(Site)];
+}
+
+bool FaultInjector::armFromSpec(const std::string &Spec, std::string *Error) {
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t End = Spec.find_first_of(",;", Pos);
+    if (End == std::string::npos)
+      End = Spec.size();
+    std::string Entry = Spec.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (Entry.empty())
+      continue;
+    size_t Colon = Entry.find(':');
+    if (Colon == std::string::npos) {
+      if (Error)
+        *Error = "expected '<site>:<mode>', got '" + Entry + "'";
+      return false;
+    }
+    std::string SiteName = Entry.substr(0, Colon);
+    std::optional<FaultSite> Site = faultSiteByName(SiteName);
+    if (!Site) {
+      std::string Known;
+      for (size_t I = 0; I != NumFaultSites; ++I) {
+        if (I)
+          Known += ", ";
+        Known += faultSiteName(static_cast<FaultSite>(I));
+      }
+      if (Error)
+        *Error = "unknown fault site '" + SiteName + "' (known sites: " +
+                 Known + ")";
+      return false;
+    }
+    std::string SpecError;
+    std::optional<FaultSpec> Parsed =
+        FaultSpec::parse(Entry.substr(Colon + 1), &SpecError);
+    if (!Parsed) {
+      if (Error)
+        *Error = SiteName + ": " + SpecError;
+      return false;
+    }
+    arm(*Site, *Parsed);
+  }
+  return true;
+}
+
+FaultInjector::ScopedFault::ScopedFault(FaultSite Site, FaultSpec Spec)
+    : Site(Site) {
+  FaultInjector &Inj = FaultInjector::instance();
+  {
+    std::lock_guard<std::mutex> Lock(Inj.Mutex);
+    Saved = Inj.Specs[static_cast<size_t>(Site)];
+    SavedHits = Inj.Hits[static_cast<size_t>(Site)];
+  }
+  Inj.arm(Site, Spec);
+}
+
+FaultInjector::ScopedFault::~ScopedFault() {
+  FaultInjector &Inj = FaultInjector::instance();
+  Inj.arm(Site, Saved);
+  std::lock_guard<std::mutex> Lock(Inj.Mutex);
+  Inj.Hits[static_cast<size_t>(Site)] = SavedHits;
+}
+
+FaultInjector::ScopedSuppress::ScopedSuppress() { ++SuppressDepth; }
+
+FaultInjector::ScopedSuppress::~ScopedSuppress() { --SuppressDepth; }

@@ -1,0 +1,40 @@
+//===- robust/Retry.cpp ---------------------------------------------------===//
+
+#include "robust/Retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+using namespace balign;
+
+void balign::sleepMs(uint64_t Ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(Ms));
+}
+
+RetryOutcome balign::retryWithBackoff(
+    const RetryPolicy &Policy,
+    const std::function<bool(std::string *Error)> &Attempt,
+    std::string *Error, const SleepFn &Sleep) {
+  RetryOutcome Outcome;
+  unsigned MaxAttempts = Policy.MaxAttempts == 0 ? 1 : Policy.MaxAttempts;
+  uint64_t BackoffMs = Policy.InitialBackoffMs;
+  for (unsigned A = 0; A != MaxAttempts; ++A) {
+    if (A != 0) {
+      if (Sleep)
+        Sleep(BackoffMs);
+      else
+        sleepMs(BackoffMs);
+      Outcome.TotalBackoffMs += BackoffMs;
+      BackoffMs = std::min(BackoffMs * 2, Policy.MaxBackoffMs);
+    }
+    ++Outcome.Attempts;
+    if (Error)
+      Error->clear();
+    if (Attempt(Error)) {
+      Outcome.Succeeded = true;
+      return Outcome;
+    }
+  }
+  return Outcome;
+}

@@ -1,0 +1,58 @@
+//===- robust/Retry.h - Bounded deterministic retry with backoff ----------===//
+//
+// Part of the balign project (PLDI 1997 branch-alignment reproduction).
+//
+//===--------------------------------------------------------------------===//
+///
+/// \file
+/// Retry-with-bounded-backoff for transient I/O faults, used around the
+/// cache store's disk reads and writes so a hiccuping filesystem costs a
+/// few milliseconds instead of an evicted cache or a failed run.
+///
+/// The backoff sequence is fully deterministic — InitialBackoffMs
+/// doubling up to MaxBackoffMs, no jitter — and the sleep function is
+/// injectable, so tests assert the exact sequence without sleeping.
+///
+//===--------------------------------------------------------------------===//
+
+#ifndef BALIGN_ROBUST_RETRY_H
+#define BALIGN_ROBUST_RETRY_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace balign {
+
+/// Tuning for retryWithBackoff.
+struct RetryPolicy {
+  unsigned MaxAttempts = 3;      ///< Total attempts, including the first.
+  uint64_t InitialBackoffMs = 1; ///< Sleep before the first retry.
+  uint64_t MaxBackoffMs = 16;    ///< Backoff cap (doubling stops here).
+};
+
+/// Sleeps for the given milliseconds; injectable for tests.
+using SleepFn = std::function<void(uint64_t Ms)>;
+
+/// The production sleep (std::this_thread::sleep_for).
+void sleepMs(uint64_t Ms);
+
+/// What one retryWithBackoff call did.
+struct RetryOutcome {
+  bool Succeeded = false;   ///< Some attempt returned true.
+  unsigned Attempts = 0;    ///< Attempts actually made.
+  uint64_t TotalBackoffMs = 0; ///< Backoff slept between them.
+};
+
+/// Runs \p Attempt (returning true on success, filling an error string
+/// on failure) up to Policy.MaxAttempts times, sleeping the doubling
+/// backoff between attempts via \p Sleep (empty = real sleepMs). The
+/// last attempt's error is left in place for the caller to report.
+RetryOutcome
+retryWithBackoff(const RetryPolicy &Policy,
+                 const std::function<bool(std::string *Error)> &Attempt,
+                 std::string *Error = nullptr, const SleepFn &Sleep = {});
+
+} // namespace balign
+
+#endif // BALIGN_ROBUST_RETRY_H

@@ -2,6 +2,7 @@
 
 #include "tsp/IteratedOpt.h"
 
+#include "robust/FaultInjector.h"
 #include "tsp/Construct.h"
 #include "tsp/LocalSearch.h"
 #include "tsp/Transform.h"
@@ -88,6 +89,8 @@ struct Solver {
                              static_cast<double>(Dtsp.numCities()))));
     std::vector<City> Touched;
     for (size_t Iter = 0; Iter != Iterations; ++Iter) {
+      if (Options.Budget)
+        Options.Budget->check("iterated 3-Opt");
       std::vector<City> Candidate = Best;
       doubleBridge(Candidate, Rng, &Touched);
       int64_t Cost = optimize(Candidate, Touched.empty() ? nullptr
@@ -105,9 +108,16 @@ struct Solver {
 
 DtspSolution balign::solveDirectedTsp(const DirectedTsp &Dtsp,
                                       const IteratedOptOptions &Options) {
+  // balign-shield fault site: any solver failure (and, via Budget below,
+  // any deadline expiry) surfaces here for the pipeline to isolate.
+  FaultInjector::instance().throwIfFault(FaultSite::TspSolve);
   size_t N = Dtsp.numCities();
-  assert(N >= 1 && "empty instance");
   DtspSolution Solution;
+  // Degenerate instances solve trivially and never consult the budget:
+  // an empty instance has the empty tour, and for N <= 3 all (or both)
+  // cyclic orders are enumerated directly.
+  if (N == 0)
+    return Solution;
   if (N <= 3) {
     // All cyclic orders of <= 3 cities are equivalent up to rotation for
     // a directed cycle only when N <= 2; for N == 3 compare both orders.

@@ -22,6 +22,7 @@
 #ifndef BALIGN_TSP_ITERATEDOPT_H
 #define BALIGN_TSP_ITERATEDOPT_H
 
+#include "robust/Deadline.h"
 #include "support/Random.h"
 #include "tsp/Instance.h"
 
@@ -38,6 +39,14 @@ struct IteratedOptOptions {
   unsigned MaxIterationsPerRun = 1u << 16; ///< Safety cap on kicks.
   unsigned NeighborListSize = 12;    ///< Candidate-list width.
   uint64_t Seed = 0x7357u;           ///< Root seed (runs fork from it).
+
+  /// Cooperative wall-clock budget (balign-shield): polled between runs
+  /// and at kick boundaries; on expiry the solver throws
+  /// DeadlineExceeded, which the pipeline's per-procedure isolation
+  /// turns into a degradation-ladder fallback. Not owned, may be null
+  /// (no budget), and deliberately NOT part of the cache fingerprint —
+  /// budget-tripped results are never cached.
+  const Deadline *Budget = nullptr;
 };
 
 /// Result of solving one directed instance.

@@ -2,11 +2,17 @@
 
 #include "tsp/Transform.h"
 
+#include "robust/FaultInjector.h"
+
 #include <cassert>
 
 using namespace balign;
 
 SymmetricTransform balign::transformToSymmetric(const DirectedTsp &Dtsp) {
+  // balign-shield fault site: stands in for any failure while building
+  // the O(N^2) symmetric instance (e.g. allocation failure on a
+  // pathological procedure).
+  FaultInjector::instance().throwIfFault(FaultSite::TspTransform);
   size_t N = Dtsp.numCities();
   assert(N >= 2 && "transformation needs at least two cities");
   SymmetricTransform Result;

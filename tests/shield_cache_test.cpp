@@ -1,0 +1,219 @@
+//===- tests/shield_cache_test.cpp - cache fault injection & downgrade ------===//
+//
+// balign-shield coverage of the cache store's disk paths: transient
+// flush/load faults absorbed by bounded-backoff retry (with the exact
+// deterministic backoff sequence asserted through an injected sleep),
+// persistent flush failure downgrading the session to memory-only, and
+// persistent load failure degrading to a cold — never wrong — cache.
+//
+//===--------------------------------------------------------------------===//
+
+#include "cache/Store.h"
+
+#include "align/Pipeline.h"
+#include "profile/Trace.h"
+#include "robust/FaultInjector.h"
+#include "workloads/Generator.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+using namespace balign;
+
+namespace {
+
+using ScopedFault = FaultInjector::ScopedFault;
+
+/// Fresh empty directory under the gtest temp root.
+std::string freshDir(const char *Name) {
+  std::string Dir = ::testing::TempDir() + "balign_shield_" + Name;
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  return Dir;
+}
+
+std::string storePath(const std::string &Dir) {
+  return Dir + "/" + AlignmentCache::StoreFileName;
+}
+
+/// A config whose retry sleeps record into \p Sleeps instead of
+/// sleeping, so fault-matrix tests take no wall time.
+AlignmentCacheConfig recordingConfig(std::vector<uint64_t> &Sleeps) {
+  AlignmentCacheConfig Config;
+  Config.RetrySleep = [&Sleeps](uint64_t Ms) { Sleeps.push_back(Ms); };
+  return Config;
+}
+
+/// One profiled procedure plus its ground-truth alignment, for
+/// populating stores with a real (validating) entry.
+struct Workload {
+  Program Prog{"shield_cache"};
+  ProgramProfile Train;
+  AlignmentOptions Options;
+  ProgramAlignment Truth;
+};
+
+Workload makeWorkload(uint64_t Seed = 42) {
+  Workload W;
+  Rng R(Seed);
+  GenParams Params;
+  Params.TargetBranchSites = 4;
+  W.Prog.addProcedure(generateProcedure("p0", Params, R).Proc);
+  Rng TraceRng(Seed * 31);
+  TraceGenOptions TraceOptions;
+  TraceOptions.BranchBudget = 400;
+  W.Train.Procs.push_back(collectProfile(
+      W.Prog.proc(0), generateTrace(W.Prog.proc(0),
+                                    BranchBehavior::uniform(W.Prog.proc(0)),
+                                    TraceRng, TraceOptions)));
+  W.Truth = alignProgram(W.Prog, W.Train, W.Options);
+  return W;
+}
+
+} // namespace
+
+TEST(ShieldCacheTest, TransientFlushFaultIsRetriedAway) {
+  FaultInjector::instance().reset();
+  std::string Dir = freshDir("transient_flush");
+  std::vector<uint64_t> Sleeps;
+  AlignmentCache Cache(Dir, recordingConfig(Sleeps));
+
+  // The first two write attempts fail; the third (of the default
+  // MaxAttempts = 3) succeeds.
+  ScopedFault Fault(FaultSite::CacheFlush, FaultSpec::count(2));
+  std::string Error;
+  EXPECT_TRUE(Cache.flush(&Error)) << Error;
+
+  CacheStats Stats = Cache.stats();
+  EXPECT_EQ(Stats.Retries, 2u);
+  EXPECT_EQ(Stats.FlushFailures, 0u);
+  EXPECT_EQ(Sleeps, (std::vector<uint64_t>{1, 2}))
+      << "deterministic doubling backoff, no jitter";
+  EXPECT_TRUE(Cache.isDiskBacked());
+  EXPECT_TRUE(std::filesystem::exists(storePath(Dir)));
+  EXPECT_NE(Stats.BytesWritten, 0u);
+}
+
+TEST(ShieldCacheTest, PersistentFlushFaultDowngradesToMemoryOnly) {
+  FaultInjector::instance().reset();
+  std::string Dir = freshDir("persistent_flush");
+  std::vector<uint64_t> Sleeps;
+  Workload W = makeWorkload();
+  AlignmentCache Cache(Dir, recordingConfig(Sleeps));
+  Cache.store(W.Prog.proc(0), W.Train.Procs[0], W.Options, 0,
+              W.Truth.Procs[0]);
+
+  {
+    ScopedFault Fault(FaultSite::CacheFlush, FaultSpec::always());
+    std::string Error;
+    EXPECT_FALSE(Cache.flush(&Error));
+    EXPECT_NE(Error.find("injected fault at 'cache.flush'"),
+              std::string::npos);
+    EXPECT_NE(Error.find("downgraded to memory-only"), std::string::npos);
+  }
+
+  CacheStats Stats = Cache.stats();
+  EXPECT_EQ(Stats.FlushFailures, 1u);
+  EXPECT_EQ(Stats.Retries, 2u) << "all three attempts were spent";
+  EXPECT_EQ(Sleeps, (std::vector<uint64_t>{1, 2}));
+  EXPECT_FALSE(Cache.isDiskBacked()) << "downgraded after the failure";
+  EXPECT_FALSE(std::filesystem::exists(storePath(Dir)));
+
+  // The downgrade sticks: with the fault gone, flushing is a successful
+  // no-op (memory-only), and the in-memory entry still serves hits.
+  std::string Error;
+  EXPECT_TRUE(Cache.flush(&Error));
+  EXPECT_FALSE(std::filesystem::exists(storePath(Dir)));
+  ProcedureAlignment Out;
+  EXPECT_TRUE(Cache.lookup(W.Prog.proc(0), W.Train.Procs[0], W.Options, 0,
+                           Out));
+  EXPECT_EQ(Out.TspLayout.Order, W.Truth.Procs[0].TspLayout.Order);
+}
+
+TEST(ShieldCacheTest, PersistentLoadFaultYieldsAColdCache) {
+  FaultInjector::instance().reset();
+  std::string Dir = freshDir("persistent_load");
+  Workload W = makeWorkload();
+  {
+    AlignmentCache Writer(Dir);
+    Writer.store(W.Prog.proc(0), W.Train.Procs[0], W.Options, 0,
+                 W.Truth.Procs[0]);
+    ASSERT_TRUE(Writer.flush());
+  }
+  ASSERT_TRUE(std::filesystem::exists(storePath(Dir)));
+
+  std::vector<uint64_t> Sleeps;
+  {
+    // Every read attempt fails: the store opens cold instead of failing.
+    ScopedFault Fault(FaultSite::CacheLoad, FaultSpec::always());
+    AlignmentCache Cold(Dir, recordingConfig(Sleeps));
+    CacheStats Stats = Cold.stats();
+    EXPECT_EQ(Stats.LoadFailures, 1u);
+    EXPECT_EQ(Stats.Retries, 2u);
+    EXPECT_EQ(Stats.Entries, 0u);
+    EXPECT_EQ(Sleeps, (std::vector<uint64_t>{1, 2}));
+    ProcedureAlignment Out;
+    EXPECT_FALSE(Cold.lookup(W.Prog.proc(0), W.Train.Procs[0], W.Options, 0,
+                             Out))
+        << "a cold cache misses; it never serves a wrong hit";
+    // Still disk-backed: the next flush repairs the store.
+    EXPECT_TRUE(Cold.isDiskBacked());
+  }
+
+  // A transient read fault (first attempt only) is absorbed by retry.
+  Sleeps.clear();
+  {
+    ScopedFault Fault(FaultSite::CacheLoad, FaultSpec::once());
+    AlignmentCache Warm(Dir, recordingConfig(Sleeps));
+    CacheStats Stats = Warm.stats();
+    EXPECT_EQ(Stats.LoadFailures, 0u);
+    EXPECT_EQ(Stats.Retries, 1u);
+    EXPECT_EQ(Stats.Entries, 1u);
+    EXPECT_EQ(Sleeps, (std::vector<uint64_t>{1}));
+    ProcedureAlignment Out;
+    EXPECT_TRUE(Warm.lookup(W.Prog.proc(0), W.Train.Procs[0], W.Options, 0,
+                            Out));
+    EXPECT_EQ(Out.TspLayout.Order, W.Truth.Procs[0].TspLayout.Order);
+  }
+}
+
+TEST(ShieldCacheTest, CacheSessionSurvivesFlushFaultsEndToEnd) {
+  FaultInjector::instance().reset();
+  std::string Dir = freshDir("session_flush");
+  Workload W = makeWorkload();
+
+  AlignmentOptions Options = W.Options;
+  Options.Cache = CacheMode::Disk;
+  Options.CachePath = Dir;
+  std::vector<uint64_t> Sleeps;
+  {
+    CacheSession Session(Options, recordingConfig(Sleeps));
+    ScopedFault Fault(FaultSite::CacheFlush, FaultSpec::always());
+    // Alignment itself is unaffected by a broken disk.
+    ProgramAlignment Result = alignProgram(W.Prog, W.Train, Options);
+    EXPECT_EQ(Result.Procs[0].TspLayout.Order,
+              W.Truth.Procs[0].TspLayout.Order);
+    EXPECT_TRUE(Result.Failures.empty());
+
+    std::string Error;
+    EXPECT_FALSE(Session.flush(&Error));
+    EXPECT_NE(Error.find("downgraded to memory-only"), std::string::npos);
+    EXPECT_FALSE(Session.cache()->isDiskBacked());
+    EXPECT_EQ(Session.stats().FlushFailures, 1u);
+    // The session destructor's best-effort flush must not throw (it
+    // lands on the downgraded no-op path).
+  }
+  EXPECT_FALSE(std::filesystem::exists(storePath(Dir)));
+
+  // A fresh session over the same directory works normally again.
+  {
+    CacheSession Session(Options, recordingConfig(Sleeps));
+    ProgramAlignment Result = alignProgram(W.Prog, W.Train, Options);
+    EXPECT_EQ(Result.Procs[0].TspLayout.Order,
+              W.Truth.Procs[0].TspLayout.Order);
+    std::string Error;
+    EXPECT_TRUE(Session.flush(&Error)) << Error;
+  }
+  EXPECT_TRUE(std::filesystem::exists(storePath(Dir)));
+}

@@ -1,0 +1,369 @@
+//===- tests/shield_pipeline_test.cpp - failure isolation & the ladder ------===//
+//
+// Pipeline-level tests for balign-shield: per-procedure failure
+// isolation, the graceful-degradation ladder (iterated 3-Opt -> greedy
+// -> original), the three OnErrorPolicy modes, deterministic deadline
+// and resource-cap trips, failure determinism across thread counts, and
+// the fallback-results-are-never-cached rule.
+//
+//===--------------------------------------------------------------------===//
+
+#include "align/Pipeline.h"
+#include "ir/CFGBuilder.h"
+#include "profile/Trace.h"
+#include "robust/FaultInjector.h"
+#include "support/Random.h"
+#include "workloads/Generator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using namespace balign;
+
+namespace {
+
+using ScopedFault = FaultInjector::ScopedFault;
+
+Program twoProcs(uint64_t Seed) {
+  Program Prog("shielded");
+  for (int P = 0; P != 2; ++P) {
+    Rng R(Seed + P);
+    GenParams Params;
+    Params.TargetBranchSites = 5;
+    Prog.addProcedure(
+        generateProcedure("p" + std::to_string(P), Params, R).Proc);
+  }
+  return Prog;
+}
+
+ProgramProfile profileAll(const Program &Prog, uint64_t Seed) {
+  ProgramProfile Train;
+  for (size_t P = 0; P != Prog.numProcedures(); ++P) {
+    Rng TraceRng(Seed + P);
+    TraceGenOptions Options;
+    Options.BranchBudget = 300;
+    Train.Procs.push_back(collectProfile(
+        Prog.proc(P), generateTrace(Prog.proc(P),
+                                    BranchBehavior::uniform(Prog.proc(P)),
+                                    TraceRng, Options)));
+  }
+  return Train;
+}
+
+/// A ProcedureResultCache that never hits and counts store offers, for
+/// asserting the never-cache-fallbacks rule without the cache library.
+class CountingCache : public ProcedureResultCache {
+public:
+  bool lookup(const Procedure &, const ProcedureProfile &,
+              const AlignmentOptions &, size_t,
+              ProcedureAlignment &) override {
+    return false;
+  }
+  void store(const Procedure &, const ProcedureProfile &,
+             const AlignmentOptions &, size_t,
+             const ProcedureAlignment &) override {
+    ++Stores;
+  }
+  unsigned Stores = 0;
+};
+
+} // namespace
+
+TEST(ShieldPipelineTest, SolverFaultFallsBackToGreedy) {
+  FaultInjector::instance().reset();
+  Program Prog = twoProcs(3);
+  ProgramProfile Train = profileAll(Prog, 9);
+  AlignmentOptions Options;
+  Options.ComputeBounds = true;
+  Options.OnError = OnErrorPolicy::Fallback;
+
+  ScopedFault Fault(FaultSite::TspSolve, FaultSpec::always());
+  ProgramAlignment Result = alignProgram(Prog, Train, Options);
+
+  ASSERT_EQ(Result.Failures.size(), 2u);
+  EXPECT_EQ(Result.Failures.summary(Prog.numProcedures()),
+            "procs=2 tsp=0 greedy=2 original=0 skipped=0 failures=2");
+  for (size_t P = 0; P != 2; ++P) {
+    const ProcedureAlignment &PA = Result.Procs[P];
+    const ProcedureFailure &F = Result.Failures.Failures[P];
+    EXPECT_EQ(F.ProcIndex, P) << "failures arrive in program order";
+    EXPECT_EQ(F.ProcName, Prog.proc(P).getName());
+    EXPECT_EQ(F.Kind, FailureKind::Fault);
+    EXPECT_EQ(F.Rung, LadderRung::Greedy);
+    EXPECT_FALSE(F.Skipped);
+    EXPECT_EQ(PA.Rung, LadderRung::Greedy);
+    // The greedy rung ships in the chosen (Tsp) slot.
+    EXPECT_EQ(PA.TspLayout.Order, PA.GreedyLayout.Order);
+    EXPECT_EQ(PA.TspPenalty, PA.GreedyPenalty);
+    EXPECT_EQ(PA.SolverRuns, 0u) << "full-path stats are reset";
+    EXPECT_EQ(PA.Bounds.AssignmentCycles, 0u);
+  }
+}
+
+TEST(ShieldPipelineTest, LadderBottomsOutAtOriginalWhenGreedyAlsoFails) {
+  FaultInjector::instance().reset();
+  Program Prog = twoProcs(5);
+  ProgramProfile Train = profileAll(Prog, 11);
+  AlignmentOptions Options;
+  Options.OnError = OnErrorPolicy::Fallback;
+
+  ScopedFault SolveFault(FaultSite::TspSolve, FaultSpec::always());
+  ScopedFault GreedyFault(FaultSite::AlignGreedy, FaultSpec::always());
+  ProgramAlignment Result = alignProgram(Prog, Train, Options);
+
+  ASSERT_EQ(Result.Failures.size(), 2u);
+  for (size_t P = 0; P != 2; ++P) {
+    const ProcedureAlignment &PA = Result.Procs[P];
+    EXPECT_EQ(PA.Rung, LadderRung::Original);
+    EXPECT_EQ(Result.Failures.Failures[P].Rung, LadderRung::Original);
+    EXPECT_EQ(PA.TspLayout.Order, PA.OriginalLayout.Order);
+    EXPECT_EQ(PA.TspPenalty, PA.OriginalPenalty);
+    EXPECT_EQ(PA.GreedyLayout.Order, PA.OriginalLayout.Order);
+  }
+  // The greedy fault fired in the full path: the first failure names the
+  // earliest stage that threw (greedy runs before the solver).
+  EXPECT_EQ(Result.Failures.Failures[0].Kind, FailureKind::Fault);
+  EXPECT_NE(Result.Failures.Failures[0].What.find("align.greedy"),
+            std::string::npos);
+}
+
+TEST(ShieldPipelineTest, SkipPolicyKeepsOriginalWithoutWalkingTheLadder) {
+  FaultInjector::instance().reset();
+  Program Prog = twoProcs(7);
+  ProgramProfile Train = profileAll(Prog, 13);
+  AlignmentOptions Options;
+  Options.OnError = OnErrorPolicy::Skip;
+
+  ScopedFault Fault(FaultSite::TspSolve, FaultSpec::always());
+  ProgramAlignment Result = alignProgram(Prog, Train, Options);
+
+  ASSERT_EQ(Result.Failures.size(), 2u);
+  EXPECT_EQ(Result.Failures.countSkipped(), 2u);
+  EXPECT_EQ(Result.Failures.summary(2),
+            "procs=2 tsp=0 greedy=0 original=2 skipped=2 failures=2");
+  for (size_t P = 0; P != 2; ++P) {
+    EXPECT_TRUE(Result.Failures.Failures[P].Skipped);
+    EXPECT_EQ(Result.Procs[P].Rung, LadderRung::Original);
+    EXPECT_EQ(Result.Procs[P].TspLayout.Order,
+              Result.Procs[P].OriginalLayout.Order);
+  }
+}
+
+TEST(ShieldPipelineTest, AbortPolicyThrowsTheFirstFailureInProgramOrder) {
+  FaultInjector::instance().reset();
+  Program Prog = twoProcs(9);
+  ProgramProfile Train = profileAll(Prog, 15);
+  AlignmentOptions Options; // OnError defaults to Abort.
+
+  ScopedFault Fault(FaultSite::TspSolve, FaultSpec::always());
+  for (unsigned Threads : {1u, 4u}) {
+    Options.Threads = Threads;
+    try {
+      alignProgram(Prog, Train, Options);
+      FAIL() << "expected AlignmentAborted (threads=" << Threads << ")";
+    } catch (const AlignmentAborted &E) {
+      // Both procedures fail; the abort must carry the first in program
+      // order at any thread count.
+      EXPECT_EQ(E.failure().ProcIndex, 0u) << "threads=" << Threads;
+      EXPECT_EQ(E.failure().Kind, FailureKind::Fault);
+      EXPECT_NE(std::string(E.what()).find("p0"), std::string::npos);
+      EXPECT_NE(std::string(E.what()).find("tsp.solve"), std::string::npos);
+    }
+  }
+}
+
+TEST(ShieldPipelineTest, PerProcedureBudgetTripsOnAnInjectedClock) {
+  FaultInjector::instance().reset();
+  Program Prog = twoProcs(11);
+  ProgramProfile Train = profileAll(Prog, 17);
+  AlignmentOptions Options;
+  Options.OnError = OnErrorPolicy::Fallback;
+  Options.ProcBudgetMs = 5;
+  // Every clock read advances 10ms, so each procedure's budget has
+  // expired by its first solver poll — deterministically, no sleeping.
+  auto Ticks = std::make_shared<uint64_t>(0);
+  Options.Clock = [Ticks] { return *Ticks += 10; };
+
+  ProgramAlignment Result = alignProgram(Prog, Train, Options);
+  ASSERT_EQ(Result.Failures.size(), 2u);
+  for (size_t P = 0; P != 2; ++P) {
+    EXPECT_EQ(Result.Failures.Failures[P].Kind, FailureKind::Deadline);
+    EXPECT_NE(Result.Failures.Failures[P].What.find("deadline"),
+              std::string::npos);
+    EXPECT_EQ(Result.Procs[P].Rung, LadderRung::Greedy)
+        << "greedy is not budget-polled, so the ladder still ships it";
+  }
+}
+
+TEST(ShieldPipelineTest, ExpiredRunDeadlineDegradesEveryProcedure) {
+  FaultInjector::instance().reset();
+  Program Prog = twoProcs(13);
+  ProgramProfile Train = profileAll(Prog, 19);
+  ManualClock Clock;
+  Deadline RunDeadline(5, Clock.fn());
+  Clock.advance(10); // The whole-run deadline is already gone.
+
+  AlignmentOptions Options;
+  Options.OnError = OnErrorPolicy::Fallback;
+  Options.RunDeadline = &RunDeadline;
+  ProgramAlignment Result = alignProgram(Prog, Train, Options);
+
+  ASSERT_EQ(Result.Failures.size(), 2u);
+  for (const ProcedureFailure &F : Result.Failures.Failures) {
+    EXPECT_EQ(F.Kind, FailureKind::Deadline);
+    EXPECT_NE(F.What.find("whole-run alignment"), std::string::npos);
+    EXPECT_EQ(F.Rung, LadderRung::Greedy);
+  }
+
+  // Under Abort the same expiry kills the run with the first procedure.
+  Options.OnError = OnErrorPolicy::Abort;
+  EXPECT_THROW(alignProgram(Prog, Train, Options), AlignmentAborted);
+}
+
+TEST(ShieldPipelineTest, ResourceCapsTripAsResourceCapFailures) {
+  FaultInjector::instance().reset();
+  Program Prog = twoProcs(15);
+  ProgramProfile Train = profileAll(Prog, 21);
+  ASSERT_GT(Prog.proc(0).numBlocks(), 2u);
+
+  AlignmentOptions Options;
+  Options.OnError = OnErrorPolicy::Fallback;
+  Options.MaxTspCities = 2; // Blocks + dummy always exceeds this here.
+  ProgramAlignment Capped = alignProgram(Prog, Train, Options);
+  ASSERT_EQ(Capped.Failures.size(), 2u);
+  for (const ProcedureFailure &F : Capped.Failures.Failures) {
+    EXPECT_EQ(F.Kind, FailureKind::ResourceCap);
+    EXPECT_NE(F.What.find("cities"), std::string::npos);
+  }
+
+  Options.MaxTspCities = 0;
+  Options.MaxTspMatrixBytes = 16; // Far below any real 2Nx2N matrix.
+  ProgramAlignment ByteCapped = alignProgram(Prog, Train, Options);
+  ASSERT_EQ(ByteCapped.Failures.size(), 2u);
+  for (const ProcedureFailure &F : ByteCapped.Failures.Failures) {
+    EXPECT_EQ(F.Kind, FailureKind::ResourceCap);
+    EXPECT_NE(F.What.find("bytes"), std::string::npos);
+  }
+
+  // Generous caps change nothing.
+  AlignmentOptions Loose;
+  Loose.MaxTspCities = 1 << 20;
+  Loose.MaxTspMatrixBytes = size_t(1) << 40;
+  AlignmentOptions Plain;
+  ProgramAlignment A = alignProgram(Prog, Train, Loose);
+  ProgramAlignment B = alignProgram(Prog, Train, Plain);
+  EXPECT_TRUE(A.Failures.empty());
+  for (size_t P = 0; P != 2; ++P)
+    EXPECT_EQ(A.Procs[P].TspLayout.Order, B.Procs[P].TspLayout.Order);
+}
+
+TEST(ShieldPipelineTest, DegradationIsBitIdenticalAcrossThreadCounts) {
+  FaultInjector::instance().reset();
+  Program Prog = twoProcs(17);
+  ProgramProfile Train = profileAll(Prog, 23);
+  AlignmentOptions Options;
+  Options.OnError = OnErrorPolicy::Fallback;
+
+  ScopedFault Fault(FaultSite::TspSolve, FaultSpec::always());
+  Options.Threads = 1;
+  ProgramAlignment Serial = alignProgram(Prog, Train, Options);
+  Options.Threads = 8;
+  ProgramAlignment Parallel = alignProgram(Prog, Train, Options);
+
+  ASSERT_EQ(Serial.Failures.size(), Parallel.Failures.size());
+  for (size_t F = 0; F != Serial.Failures.size(); ++F) {
+    EXPECT_EQ(Serial.Failures.Failures[F].ProcIndex,
+              Parallel.Failures.Failures[F].ProcIndex);
+    EXPECT_EQ(Serial.Failures.Failures[F].Kind,
+              Parallel.Failures.Failures[F].Kind);
+    EXPECT_EQ(Serial.Failures.Failures[F].Rung,
+              Parallel.Failures.Failures[F].Rung);
+  }
+  for (size_t P = 0; P != 2; ++P) {
+    EXPECT_EQ(Serial.Procs[P].TspLayout.Order,
+              Parallel.Procs[P].TspLayout.Order);
+    EXPECT_EQ(Serial.Procs[P].TspPenalty, Parallel.Procs[P].TspPenalty);
+    EXPECT_EQ(Serial.Procs[P].Rung, Parallel.Procs[P].Rung);
+  }
+}
+
+TEST(ShieldPipelineTest, PoliciesAreBitIdenticalWhenNothingFails) {
+  FaultInjector::instance().reset();
+  Program Prog = twoProcs(19);
+  ProgramProfile Train = profileAll(Prog, 25);
+
+  AlignmentOptions Options;
+  Options.OnError = OnErrorPolicy::Abort;
+  ProgramAlignment Baseline = alignProgram(Prog, Train, Options);
+  EXPECT_TRUE(Baseline.Failures.empty());
+
+  for (OnErrorPolicy Policy :
+       {OnErrorPolicy::Fallback, OnErrorPolicy::Skip}) {
+    Options.OnError = Policy;
+    ProgramAlignment Other = alignProgram(Prog, Train, Options);
+    EXPECT_TRUE(Other.Failures.empty());
+    for (size_t P = 0; P != 2; ++P) {
+      EXPECT_EQ(Other.Procs[P].TspLayout.Order,
+                Baseline.Procs[P].TspLayout.Order);
+      EXPECT_EQ(Other.Procs[P].GreedyLayout.Order,
+                Baseline.Procs[P].GreedyLayout.Order);
+      EXPECT_EQ(Other.Procs[P].TspPenalty, Baseline.Procs[P].TspPenalty);
+      EXPECT_EQ(Other.Procs[P].Rung, LadderRung::Tsp);
+    }
+  }
+}
+
+TEST(ShieldPipelineTest, FallbackResultsAreNeverCached) {
+  FaultInjector::instance().reset();
+  Program Prog = twoProcs(21);
+  ProgramProfile Train = profileAll(Prog, 27);
+  CountingCache Cache;
+  AlignmentOptions Options;
+  Options.OnError = OnErrorPolicy::Fallback;
+  Options.Cache = CacheMode::Memory;
+  Options.CacheImpl = &Cache;
+
+  {
+    ScopedFault Fault(FaultSite::TspSolve, FaultSpec::always());
+    ProgramAlignment Degraded = alignProgram(Prog, Train, Options);
+    ASSERT_EQ(Degraded.Failures.size(), 2u);
+    EXPECT_EQ(Cache.Stores, 0u)
+        << "a degraded result is not what recomputation would produce";
+  }
+  // With the fault gone, every full-path result is offered for caching.
+  ProgramAlignment Clean = alignProgram(Prog, Train, Options);
+  EXPECT_TRUE(Clean.Failures.empty());
+  EXPECT_EQ(Cache.Stores, 2u);
+}
+
+TEST(ShieldPipelineTest, UnprofiledProceduresBypassTheShield) {
+  FaultInjector::instance().reset();
+  Program Prog = twoProcs(23);
+  ProgramProfile Train;
+  {
+    Rng TraceRng(29);
+    TraceGenOptions TraceOptions;
+    TraceOptions.BranchBudget = 300;
+    Train.Procs.push_back(collectProfile(
+        Prog.proc(0), generateTrace(Prog.proc(0),
+                                    BranchBehavior::uniform(Prog.proc(0)),
+                                    TraceRng, TraceOptions)));
+  }
+  Train.Procs.push_back(ProcedureProfile::zeroed(Prog.proc(1)));
+
+  AlignmentOptions Options;
+  Options.OnError = OnErrorPolicy::Fallback;
+  // pool.task guards every shielded task; the unprofiled keep-original
+  // path runs before the probe, so only the profiled procedure fails.
+  ScopedFault Fault(FaultSite::PoolTask, FaultSpec::always());
+  ProgramAlignment Result = alignProgram(Prog, Train, Options);
+
+  ASSERT_EQ(Result.Failures.size(), 1u);
+  EXPECT_EQ(Result.Failures.Failures[0].ProcIndex, 0u);
+  EXPECT_EQ(Result.Procs[0].Rung, LadderRung::Greedy);
+  EXPECT_EQ(Result.Procs[1].Rung, LadderRung::Tsp)
+      << "keeping an unprofiled layout is designed behavior, not a failure";
+  EXPECT_EQ(Result.Procs[1].TspLayout.Order,
+            Layout::original(Prog.proc(1)).Order);
+}
