@@ -13,6 +13,7 @@
 //              [--cache DIR] [--cache-stats] [--batch FILE]
 //              [--on-error abort|fallback|skip] [--time-budget MS]
 //              [--deadline MS] [--checkpoint FILE]
+//              [--trace FILE] [--metrics] [--metrics-json FILE]
 //
 // With no file argument a built-in demo program is used, so the tool is
 // runnable out of the box.
@@ -49,9 +50,11 @@
 #include "profile/ProfileIO.h"
 #include "profile/Trace.h"
 #include "robust/FaultInjector.h"
+#include "support/Flags.h"
 #include "support/Format.h"
 #include "support/Parse.h"
 #include "support/Table.h"
+#include "trace/Scope.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -108,10 +111,21 @@ struct ToolOptions {
   uint64_t DeadlineMs = 0;     ///< --deadline: whole-run budget.
   std::string CheckpointFile;  ///< --checkpoint: batch resume journal.
 
+  // balign-scope flags. All trace output goes to files or stderr, so
+  // stdout stays byte-identical with untraced runs.
+  std::string TraceFile;       ///< --trace: Chrome trace_event JSON.
+  std::string MetricsJsonFile; ///< --metrics-json: machine counters.
+  bool Metrics = false;        ///< --metrics: text summary on stderr.
+
   /// True when any shield flag was given; forces the pipeline path and
   /// enables the stderr shield report.
   bool shieldActive() const {
     return OnErrorGiven || TimeBudgetMs != 0 || DeadlineMs != 0;
+  }
+
+  /// True when any balign-scope flag was given; installs the session.
+  bool traceActive() const {
+    return !TraceFile.empty() || !MetricsJsonFile.empty() || Metrics;
   }
 };
 
@@ -134,29 +148,13 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Options) {
   for (int I = 1; I != Argc; ++I) {
     std::string Arg = Argv[I];
     auto needValue = [&](const char *Flag) -> const char * {
-      if (I + 1 == Argc) {
-        std::fprintf(stderr, "error: %s requires a value\n", Flag);
-        return nullptr;
-      }
-      return Argv[++I];
+      return flagValue(Flag, Argc, Argv, I);
     };
     // Strict numeric parsing: "12x", "", " 12", "+12", and out-of-range
     // values are errors, never silent truncations.
     auto needInt = [&](const char *Flag, uint64_t &Out,
                        uint64_t Max = UINT64_MAX) -> bool {
-      const char *V = needValue(Flag);
-      if (!V)
-        return false;
-      std::optional<uint64_t> N = parseFlagInt(V, Max);
-      if (!N) {
-        std::fprintf(stderr,
-                     "error: %s wants a decimal integer in [0, %llu], "
-                     "got '%s'\n",
-                     Flag, static_cast<unsigned long long>(Max), V);
-        return false;
-      }
-      Out = *N;
-      return true;
+      return flagUInt(Flag, Argc, Argv, I, Out, Max);
     };
     if (Arg == "--aligner") {
       const char *V = needValue("--aligner");
@@ -224,6 +222,18 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Options) {
       if (!V)
         return false;
       Options.CheckpointFile = V;
+    } else if (Arg == "--trace") {
+      const char *V = needValue("--trace");
+      if (!V)
+        return false;
+      Options.TraceFile = V;
+    } else if (Arg == "--metrics-json") {
+      const char *V = needValue("--metrics-json");
+      if (!V)
+        return false;
+      Options.MetricsJsonFile = V;
+    } else if (Arg == "--metrics") {
+      Options.Metrics = true;
     } else if (Arg == "--dot") {
       Options.EmitDot = true;
     } else if (Arg == "--bounds") {
@@ -278,6 +288,14 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Options) {
                   "  --checkpoint FILE  batch resume journal: completed "
                   "programs are appended\n"
                   "                and skipped on the next run\n"
+                  "  --trace FILE  write a Chrome trace_event JSON of "
+                  "every pipeline stage\n"
+                  "                (load in chrome://tracing or Perfetto); "
+                  "stdout is unchanged\n"
+                  "  --metrics     print the balign-scope counter/gauge "
+                  "summary to stderr\n"
+                  "  --metrics-json FILE  write the counters and gauges "
+                  "as machine JSON\n"
                   "exit codes: 0 success, 1 usage/input/verify error, "
                   "2 aborted under\n"
                   "--on-error=abort, 3 batch finished with failed "
@@ -586,65 +604,102 @@ int main(int Argc, char **Argv) {
   if (!parseArgs(Argc, Argv, Options))
     return 1;
 
-  // The shield flags run through alignProgram, so they force the
-  // pipeline path just like --cache/--batch.
-  bool UsePipeline = !Options.CacheDir.empty() ||
-                     !Options.BatchFile.empty() || Options.shieldActive();
-  if (UsePipeline && Options.AlignerGiven && Options.AlignerName != "tsp")
-    std::fprintf(stderr,
-                 "warning: --aligner %s is ignored with "
-                 "--cache/--batch/--on-error (the full pipeline reports "
-                 "greedy and tsp)\n",
-                 Options.AlignerName.c_str());
-  if (!Options.CheckpointFile.empty() && Options.BatchFile.empty())
-    std::fprintf(stderr,
-                 "warning: --checkpoint is only meaningful with --batch; "
-                 "ignored\n");
-
-  AlignmentOptions AlignOptions;
-  AlignOptions.Model = MachineModel::alpha21164();
-  AlignOptions.Solver.Seed = Options.Seed;
-  AlignOptions.ComputeBounds = Options.ComputeBounds;
-  AlignOptions.Threads = Options.Threads;
-  AlignOptions.OnError = Options.OnError;
-  AlignOptions.ProcBudgetMs = Options.TimeBudgetMs;
-  Deadline RunDeadline(Options.DeadlineMs);
-  if (Options.DeadlineMs)
-    AlignOptions.RunDeadline = &RunDeadline;
-  if (!Options.CacheDir.empty()) {
-    AlignOptions.Cache = CacheMode::Disk;
-    AlignOptions.CachePath = Options.CacheDir;
-  } else if (!Options.BatchFile.empty()) {
-    // Batch without a directory still shares an in-process cache, so
-    // duplicate procedures across the list are solved once.
-    AlignOptions.Cache = CacheMode::Memory;
-  }
-  CacheSession Cache(AlignOptions);
+  // The balign-scope session outlives the whole run (including the
+  // cache session's final flush) and exports after everything else has
+  // unwound. When no trace flag was given it is never installed, and
+  // every probe in the pipeline reduces to one relaxed atomic load.
+  TraceSession Scope;
+  if (Options.traceActive())
+    Scope.install();
 
   int Exit = 0;
-  try {
-    Exit = runAlignment(Options, AlignOptions, UsePipeline);
-  } catch (const AlignmentAborted &E) {
-    // Exit 2 contract: a procedure failure under OnErrorPolicy::Abort
-    // (the default policy) aborts alignment.
-    std::fprintf(stderr, "error: alignment aborted: %s\n", E.what());
-    Exit = 2;
-  } catch (const FaultInjectedError &E) {
-    // The legacy single-aligner path has no per-procedure isolation;
-    // an injected fault escaping it is the same abort.
-    std::fprintf(stderr, "error: alignment aborted: %s\n", E.what());
-    Exit = 2;
-  } catch (const DeadlineExceeded &E) {
-    std::fprintf(stderr, "error: alignment aborted: %s\n", E.what());
-    Exit = 2;
-  }
+  {
+    // The shield flags run through alignProgram, so they force the
+    // pipeline path just like --cache/--batch.
+    bool UsePipeline = !Options.CacheDir.empty() ||
+                       !Options.BatchFile.empty() || Options.shieldActive();
+    if (UsePipeline && Options.AlignerGiven && Options.AlignerName != "tsp")
+      std::fprintf(stderr,
+                   "warning: --aligner %s is ignored with "
+                   "--cache/--batch/--on-error (the full pipeline reports "
+                   "greedy and tsp)\n",
+                   Options.AlignerName.c_str());
+    if (!Options.CheckpointFile.empty() && Options.BatchFile.empty())
+      std::fprintf(stderr,
+                   "warning: --checkpoint is only meaningful with --batch; "
+                   "ignored\n");
 
-  if (Options.CacheStats) {
-    std::string Error;
-    if (!Cache.flush(&Error))
-      std::fprintf(stderr, "warning: cache flush failed: %s\n",
-                   Error.c_str());
-    std::fprintf(stderr, "cache: %s\n", Cache.stats().summary().c_str());
+    AlignmentOptions AlignOptions;
+    AlignOptions.Model = MachineModel::alpha21164();
+    AlignOptions.Solver.Seed = Options.Seed;
+    AlignOptions.ComputeBounds = Options.ComputeBounds;
+    AlignOptions.Threads = Options.Threads;
+    AlignOptions.OnError = Options.OnError;
+    AlignOptions.ProcBudgetMs = Options.TimeBudgetMs;
+    Deadline RunDeadline(Options.DeadlineMs);
+    if (Options.DeadlineMs)
+      AlignOptions.RunDeadline = &RunDeadline;
+    if (!Options.CacheDir.empty()) {
+      AlignOptions.Cache = CacheMode::Disk;
+      AlignOptions.CachePath = Options.CacheDir;
+    } else if (!Options.BatchFile.empty()) {
+      // Batch without a directory still shares an in-process cache, so
+      // duplicate procedures across the list are solved once.
+      AlignOptions.Cache = CacheMode::Memory;
+    }
+    CacheSession Cache(AlignOptions);
+
+    try {
+      Exit = runAlignment(Options, AlignOptions, UsePipeline);
+    } catch (const AlignmentAborted &E) {
+      // Exit 2 contract: a procedure failure under OnErrorPolicy::Abort
+      // (the default policy) aborts alignment.
+      std::fprintf(stderr, "error: alignment aborted: %s\n", E.what());
+      Exit = 2;
+    } catch (const FaultInjectedError &E) {
+      // The legacy single-aligner path has no per-procedure isolation;
+      // an injected fault escaping it is the same abort.
+      std::fprintf(stderr, "error: alignment aborted: %s\n", E.what());
+      Exit = 2;
+    } catch (const DeadlineExceeded &E) {
+      std::fprintf(stderr, "error: alignment aborted: %s\n", E.what());
+      Exit = 2;
+    }
+
+    if (Options.CacheStats) {
+      std::string Error;
+      if (!Cache.flush(&Error))
+        std::fprintf(stderr, "warning: cache flush failed: %s\n",
+                     Error.c_str());
+      std::fprintf(stderr, "cache: %s\n", Cache.stats().summary().c_str());
+    }
+  } // CacheSession's destructor flush is the last recorded span.
+
+  if (Options.traceActive()) {
+    Scope.uninstall();
+    // The trace itself is a verified artifact: a broken span stream
+    // would silently invalidate the exporters' nesting and the CI
+    // determinism diff, so it fails the run like any verify error.
+    DiagnosticEngine Diags;
+    Diags.setEchoToStderr(true);
+    if (checkTrace(Scope, Diags) != 0 && Exit == 0)
+      Exit = 1;
+    auto writeFile = [&](const std::string &Path, std::string Contents) {
+      std::ofstream Out(Path, std::ios::binary);
+      if (Out)
+        Out << Contents;
+      if (!Out) {
+        std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+        if (Exit == 0)
+          Exit = 1;
+      }
+    };
+    if (!Options.TraceFile.empty())
+      writeFile(Options.TraceFile, Scope.chromeTraceJson());
+    if (!Options.MetricsJsonFile.empty())
+      writeFile(Options.MetricsJsonFile, Scope.metricsJson());
+    if (Options.Metrics)
+      std::fprintf(stderr, "%s", Scope.metricsSummary().c_str());
   }
   return Exit;
 }

@@ -16,8 +16,8 @@
 #include "interproc/Interleave.h"
 #include "interproc/Placement.h"
 #include "interproc/ProcOrder.h"
+#include "support/Flags.h"
 #include "support/Format.h"
-#include "support/Parse.h"
 #include "support/Table.h"
 #include "workloads/Workloads.h"
 
@@ -33,17 +33,10 @@ int main(int Argc, char **Argv) {
   for (int I = 1; I != Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--threads") {
-      if (I + 1 == Argc) {
-        std::fprintf(stderr, "error: --threads requires a value\n");
+      uint64_t N = 0;
+      if (!flagUInt("--threads", Argc, Argv, I, N, UINT32_MAX))
         return 1;
-      }
-      std::optional<uint64_t> N = parseFlagInt(Argv[++I], UINT32_MAX);
-      if (!N) {
-        std::fprintf(stderr, "error: --threads wants a decimal integer, "
-                     "got '%s'\n", Argv[I]);
-        return 1;
-      }
-      Threads = static_cast<unsigned>(*N);
+      Threads = static_cast<unsigned>(N);
     } else if (!Arg.empty() && Arg[0] != '-') {
       Benchmark = Arg;
     } else {

@@ -3,6 +3,7 @@
 #include "align/Bounds.h"
 
 #include "tsp/Assignment.h"
+#include "trace/Scope.h"
 
 #include <algorithm>
 
@@ -19,11 +20,19 @@ PenaltyBounds balign::computePenaltyBounds(const Procedure &Proc,
   // The entry-pinned instance gives every feasible layout (= tour) a cost
   // equal to its penalty: the dummy->entry edge costs 0. Lower bounds on
   // tour cost are therefore lower bounds on penalty directly.
-  double Hk = heldKarpBoundDirected(
-      Atsp.Tsp, static_cast<int64_t>(UpperBound), Options);
+  double Hk;
+  {
+    ScopedSpan HkSpan("bounds.held-karp", SpanCat::Solver);
+    Hk = heldKarpBoundDirected(Atsp.Tsp, static_cast<int64_t>(UpperBound),
+                               Options);
+  }
   Bounds.HeldKarp = std::clamp(Hk, 0.0, static_cast<double>(UpperBound));
 
-  AssignmentResult Ap = assignmentBound(Atsp.Tsp);
+  AssignmentResult Ap;
+  {
+    ScopedSpan ApSpan("bounds.assignment", SpanCat::Solver);
+    Ap = assignmentBound(Atsp.Tsp);
+  }
   Bounds.Assignment =
       std::clamp<int64_t>(Ap.Cost, 0, static_cast<int64_t>(UpperBound));
   Bounds.AssignmentCycles = Ap.NumCycles;

@@ -7,6 +7,7 @@
 #include "robust/FaultInjector.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
+#include "trace/Scope.h"
 
 #include <optional>
 
@@ -144,13 +145,20 @@ void alignFullPath(const Procedure &Proc, const ProcedureProfile &Profile,
     return; // Validated hit; all stage timers stay at zero.
 
   CpuStopwatch GreedyTimer;
-  PA.GreedyLayout = GreedyAligner().align(Proc, Profile, Options.Model);
-  Task.GreedySeconds = GreedyTimer.seconds();
-  PA.GreedyPenalty = evaluateLayout(Proc, PA.GreedyLayout, Options.Model,
-                                    Profile, Profile);
+  {
+    ScopedSpan GreedySpan("stage.greedy", SpanCat::Stage);
+    PA.GreedyLayout = GreedyAligner().align(Proc, Profile, Options.Model);
+    Task.GreedySeconds = GreedyTimer.seconds();
+    PA.GreedyPenalty = evaluateLayout(Proc, PA.GreedyLayout, Options.Model,
+                                      Profile, Profile);
+  }
 
   CpuStopwatch MatrixTimer;
-  AlignmentTsp Atsp = buildAlignmentTsp(Proc, Profile, Options.Model);
+  AlignmentTsp Atsp;
+  {
+    ScopedSpan MatrixSpan("stage.matrix", SpanCat::Stage);
+    Atsp = buildAlignmentTsp(Proc, Profile, Options.Model);
+  }
   Task.MatrixSeconds = MatrixTimer.seconds();
 
   CpuStopwatch SolverTimer;
@@ -160,7 +168,11 @@ void alignFullPath(const Procedure &Proc, const ProcedureProfile &Profile,
   IteratedOptOptions SolverOptions = Options.Solver;
   SolverOptions.Seed = derivedSolverSeed(Options.Solver.Seed, I);
   SolverOptions.Budget = Budget;
-  DtspSolution Solution = solveDirectedTsp(Atsp.Tsp, SolverOptions);
+  DtspSolution Solution;
+  {
+    ScopedSpan SolveSpan("stage.solve", SpanCat::Stage);
+    Solution = solveDirectedTsp(Atsp.Tsp, SolverOptions);
+  }
   Task.SolverSeconds = SolverTimer.seconds();
 
   PA.TspLayout = layoutFromTour(Proc, Atsp, Solution.Tour);
@@ -171,6 +183,7 @@ void alignFullPath(const Procedure &Proc, const ProcedureProfile &Profile,
 
   if (Options.ComputeBounds) {
     CpuStopwatch BoundsTimer;
+    ScopedSpan BoundsSpan("stage.bounds", SpanCat::Stage);
     PA.Bounds = computePenaltyBounds(Proc, Profile, Options.Model,
                                      PA.TspPenalty, Options.HeldKarp);
     Task.BoundsSeconds = BoundsTimer.seconds();
@@ -254,6 +267,7 @@ ProcedureTask alignOneProcedure(const Procedure &Proc,
   if (Profile.executedBranches(Proc) == 0) {
     PA.GreedyLayout = PA.OriginalLayout;
     PA.TspLayout = PA.OriginalLayout;
+    scopeCounterAdd("pipeline.unprofiled");
     return Task;
   }
 
@@ -347,18 +361,26 @@ ProgramAlignment balign::alignProgram(const Program &Prog,
                        static_cast<bool>(Hooks.AfterSolve);
   std::vector<ProcedureTask> Tasks(NumProcs);
 
+  ScopedSpan AlignSpan("pipeline.align", SpanCat::Pipeline);
+  scopeCounterAdd("pipeline.procs", NumProcs);
+
+  // Each per-procedure task runs under a TrackScope binding its spans
+  // (the balign-scope drain key) to the procedure index, so the drained
+  // trace is identical whether the task ran inline or on a pool worker.
+  auto RunOne = [&](size_t I) {
+    TrackScope Track(static_cast<int64_t>(I));
+    ScopedSpan TaskSpan("proc.task", SpanCat::Pipeline);
+    Tasks[I] = alignOneProcedure(Prog.proc(I), Train.Procs[I], Options, I,
+                                 KeepArtifacts);
+  };
   unsigned Threads =
       Options.Threads == 0 ? ThreadPool::hardwareThreads() : Options.Threads;
   if (Threads <= 1 || NumProcs <= 1) {
     for (size_t I = 0; I != NumProcs; ++I)
-      Tasks[I] = alignOneProcedure(Prog.proc(I), Train.Procs[I], Options, I,
-                                   KeepArtifacts);
+      RunOne(I);
   } else {
     ThreadPool Pool(Threads);
-    parallelFor(Pool, 0, NumProcs, [&](size_t I) {
-      Tasks[I] = alignOneProcedure(Prog.proc(I), Train.Procs[I], Options, I,
-                                   KeepArtifacts);
-    });
+    parallelFor(Pool, 0, NumProcs, RunOne);
   }
 
   // Drain in program order on the calling thread: aggregate the CPU-time
@@ -367,15 +389,25 @@ ProgramAlignment balign::alignProgram(const Program &Prog,
   // pipeline of one procedure would fire them.
   ProgramAlignment Result;
   Result.Procs.reserve(NumProcs);
+  ScopedSpan DrainSpan("pipeline.drain", SpanCat::Pipeline);
   for (size_t I = 0; I != NumProcs; ++I) {
     ProcedureTask &Task = Tasks[I];
+    // Verify-hook spans replayed below belong to this procedure's track,
+    // right after the spans its worker recorded.
+    TrackScope Track(static_cast<int64_t>(I));
     // Shield policy first: under Abort the first failure in program
     // order throws — deterministic at any thread count, because workers
     // record failures privately and this loop runs in program order.
     if (Task.Failure && Options.OnError == OnErrorPolicy::Abort)
       throw AlignmentAborted(std::move(*Task.Failure));
-    if (Task.Failure)
+    if (Task.Failure) {
+      scopeCounterAdd(Task.Failure->Skipped ? "shield.skipped"
+                                            : "shield.fallbacks");
+      scopeCounterAdd(Task.Failure->Rung == LadderRung::Original
+                          ? "shield.rung.original"
+                          : "shield.rung.greedy");
       Result.Failures.Failures.push_back(std::move(*Task.Failure));
+    }
     Result.GreedySeconds += Task.GreedySeconds;
     Result.MatrixSeconds += Task.MatrixSeconds;
     Result.SolverSeconds += Task.SolverSeconds;

@@ -112,6 +112,14 @@ const char *balign::checkIdName(CheckId Check) {
     return "shield.fallback";
   case CheckId::ShieldSkipped:
     return "shield.skipped";
+  case CheckId::TraceNegativeDuration:
+    return "trace.negative-duration";
+  case CheckId::TraceBadNesting:
+    return "trace.bad-nesting";
+  case CheckId::TraceSeqGap:
+    return "trace.seq-gap";
+  case CheckId::TraceCounterRegressed:
+    return "trace.counter-regressed";
   }
   assert(false && "unknown check id");
   return "?";

@@ -109,6 +109,12 @@ enum class CheckId : uint16_t {
   // shipped layout is legal, just produced by a lower ladder rung).
   ShieldFallback, ///< shield.fallback
   ShieldSkipped,  ///< shield.skipped
+
+  // trace: balign-scope span-stream and metric sanity.
+  TraceNegativeDuration, ///< trace.negative-duration
+  TraceBadNesting,       ///< trace.bad-nesting
+  TraceSeqGap,           ///< trace.seq-gap
+  TraceCounterRegressed, ///< trace.counter-regressed
 };
 
 /// Returns the stable printable ID, e.g. "cfg.unreachable-block".

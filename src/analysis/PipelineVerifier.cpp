@@ -2,10 +2,13 @@
 
 #include "analysis/PipelineVerifier.h"
 
+#include "trace/Scope.h"
+
 using namespace balign;
 
 size_t PipelineVerifier::verifyInputs(const Program &Prog,
                                       const ProgramProfile &Train) {
+  ScopedSpan Span("verify.inputs", SpanCat::Verify);
   size_t Errors = checkCfg(Prog, Diags);
   Errors += checkProfileFlow(Prog, Train, Diags, Options);
   return Errors;
@@ -32,6 +35,7 @@ void PipelineVerifier::install(AlignmentOptions &AlignOptions) {
 void PipelineVerifier::afterMatrix(size_t ProcIndex, const Procedure &Proc,
                                    const ProcedureProfile &Train,
                                    const AlignmentTsp &Atsp) {
+  ScopedSpan Span("verify.matrix-audit", SpanCat::Verify);
   checkCostMatrix(Proc, Train, Model, Atsp, Diags, Options);
   Cache.Valid = true;
   Cache.ProcIndex = ProcIndex;
@@ -44,6 +48,7 @@ void PipelineVerifier::afterSolve(size_t ProcIndex, const Procedure &Proc,
                                   const AlignmentTsp &Atsp,
                                   const DtspSolution &Solution,
                                   const IteratedOptOptions &SolverOptions) {
+  ScopedSpan Span("verify.tour-bounds", SpanCat::Verify);
   checkTour(Proc, Train, Model, Atsp, Solution.Tour, Solution.Cost, Diags);
   if (Cache.Valid && Cache.ProcIndex == ProcIndex) {
     Cache.Solution = Solution;
@@ -54,6 +59,7 @@ void PipelineVerifier::afterSolve(size_t ProcIndex, const Procedure &Proc,
 void PipelineVerifier::afterProcedure(size_t ProcIndex, const Procedure &Proc,
                                       const ProcedureProfile &Train,
                                       const ProcedureAlignment &Result) {
+  ScopedSpan Span("verify.layout-check", SpanCat::Verify);
   checkLayout(Proc, Result.OriginalLayout, Train, Model, Diags);
   checkLayout(Proc, Result.GreedyLayout, Train, Model, Diags);
   checkLayout(Proc, Result.TspLayout, Train, Model, Diags);
@@ -61,10 +67,12 @@ void PipelineVerifier::afterProcedure(size_t ProcIndex, const Procedure &Proc,
 
   bool Profiled = Cache.Valid && Cache.ProcIndex == ProcIndex &&
                   !Cache.Solution.Tour.empty();
-  if (Profiled && Options.Level == VerifyLevel::Full)
+  if (Profiled && Options.Level == VerifyLevel::Full) {
+    ScopedSpan ReplaySpan("verify.determinism", SpanCat::Verify);
     checkDeterminism(Proc, Train, Model, Cache.Atsp, Cache.SolverOptions,
                      Cache.Solution.Tour, Cache.Solution.Cost,
                      Result.TspLayout, Diags);
+  }
   Cache.Valid = false;
 }
 

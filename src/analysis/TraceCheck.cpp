@@ -1,0 +1,145 @@
+//===- analysis/TraceCheck.cpp - balign-scope span/metric sanity ----------===//
+//
+// Part of the balign project (PLDI 1997 branch-alignment reproduction).
+//
+//===--------------------------------------------------------------------===//
+///
+/// \file
+/// The trace pass of balign-verify: validates a drained balign-scope span
+/// stream (durations, per-thread nesting discipline, per-track sequence
+/// contiguity) and counter monotonicity between registry snapshots. The
+/// pass exists because the observability layer itself is part of the
+/// deliverable: a trace whose spans overlap illegally or whose sequences
+/// have holes would silently break the program-order drain guarantee the
+/// exporters and the CI determinism diff rely on.
+///
+//===--------------------------------------------------------------------===//
+
+#include "analysis/Verifier.h"
+#include "trace/Scope.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+using namespace balign;
+
+namespace {
+
+const char *PassName = "trace";
+
+std::string spanLabel(const TraceSpan &Span) {
+  return std::string("span '") + Span.Name + "' (track " +
+         std::to_string(Span.Track) + ", seq " + std::to_string(Span.Seq) +
+         ")";
+}
+
+} // namespace
+
+size_t balign::checkTraceSpans(const std::vector<TraceSpan> &Spans,
+                               DiagnosticEngine &Diags) {
+  size_t Before = Diags.errorCount();
+
+  // 1. Durations: a monotonic clock can never run backwards.
+  for (const TraceSpan &Span : Spans) {
+    if (Span.EndNs < Span.StartNs)
+      Diags.report(Severity::Error, CheckId::TraceNegativeDuration, PassName,
+                   DiagLocation::program(),
+                   spanLabel(Span) + " ends " +
+                       std::to_string(Span.StartNs - Span.EndNs) +
+                       "ns before it starts");
+  }
+
+  // 2. Nesting: per thread, spans must close in stack order. Scoped
+  // spans record at destruction, so sorting a thread's spans by start
+  // time (ties broken by depth: the outer span of a zero-width pair
+  // starts "first") recovers open order; a stack then replays the
+  // thread's lifetime. A span whose depth does not match the replay
+  // stack, or which leaks past its parent's end, breaks the discipline.
+  std::map<uint32_t, std::vector<const TraceSpan *>> ByThread;
+  for (const TraceSpan &Span : Spans)
+    ByThread[Span.ThreadId].push_back(&Span);
+  for (auto &[ThreadId, Thread] : ByThread) {
+    std::stable_sort(Thread.begin(), Thread.end(),
+                     [](const TraceSpan *A, const TraceSpan *B) {
+                       if (A->StartNs != B->StartNs)
+                         return A->StartNs < B->StartNs;
+                       return A->Depth < B->Depth;
+                     });
+    std::vector<const TraceSpan *> Stack;
+    for (const TraceSpan *Span : Thread) {
+      while (!Stack.empty() && Span->StartNs >= Stack.back()->EndNs &&
+             Span->Depth <= Stack.back()->Depth)
+        Stack.pop_back();
+      if (Span->Depth != Stack.size()) {
+        Diags.report(Severity::Error, CheckId::TraceBadNesting, PassName,
+                     DiagLocation::program(),
+                     spanLabel(*Span) + " on thread " +
+                         std::to_string(ThreadId) + " has depth " +
+                         std::to_string(Span->Depth) + " but " +
+                         std::to_string(Stack.size()) +
+                         " enclosing spans are open");
+        continue;
+      }
+      if (!Stack.empty() && Span->EndNs > Stack.back()->EndNs)
+        Diags.report(Severity::Error, CheckId::TraceBadNesting, PassName,
+                     DiagLocation::program(),
+                     spanLabel(*Span) + " on thread " +
+                         std::to_string(ThreadId) + " outlives its parent '" +
+                         Stack.back()->Name + "'");
+      Stack.push_back(Span);
+    }
+  }
+
+  // 3. Sequence contiguity: each track's seqs must be exactly
+  // 0..N-1. Holes or duplicates would make the program-order drain
+  // ambiguous, which is the property the thread-count determinism
+  // guarantee stands on.
+  std::map<int64_t, std::vector<uint64_t>> SeqsByTrack;
+  for (const TraceSpan &Span : Spans)
+    SeqsByTrack[Span.Track].push_back(Span.Seq);
+  for (auto &[Track, Seqs] : SeqsByTrack) {
+    std::sort(Seqs.begin(), Seqs.end());
+    for (size_t I = 0; I != Seqs.size(); ++I) {
+      if (Seqs[I] != I) {
+        Diags.report(Severity::Error, CheckId::TraceSeqGap, PassName,
+                     DiagLocation::program(),
+                     "track " + std::to_string(Track) + " expects seq " +
+                         std::to_string(I) + " but holds seq " +
+                         std::to_string(Seqs[I]) +
+                         " (drain order is ambiguous)");
+        break;
+      }
+    }
+  }
+
+  return Diags.errorCount() - Before;
+}
+
+size_t balign::checkTrace(const TraceSession &Session,
+                          DiagnosticEngine &Diags) {
+  return checkTraceSpans(Session.drainSpans(), Diags);
+}
+
+size_t balign::checkCounterMonotonic(
+    const std::map<std::string, uint64_t> &Before,
+    const std::map<std::string, uint64_t> &After, DiagnosticEngine &Diags) {
+  size_t Errors = Diags.errorCount();
+  for (const auto &[Name, Old] : Before) {
+    auto It = After.find(Name);
+    if (It == After.end()) {
+      Diags.report(Severity::Error, CheckId::TraceCounterRegressed, PassName,
+                   DiagLocation::program(),
+                   "counter '" + Name + "' (was " + std::to_string(Old) +
+                       ") vanished from the registry");
+      continue;
+    }
+    if (It->second < Old)
+      Diags.report(Severity::Error, CheckId::TraceCounterRegressed, PassName,
+                   DiagLocation::program(),
+                   "counter '" + Name + "' regressed from " +
+                       std::to_string(Old) + " to " +
+                       std::to_string(It->second));
+  }
+  return Diags.errorCount() - Errors;
+}

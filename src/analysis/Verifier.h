@@ -58,6 +58,8 @@
 #include "tsp/IteratedOpt.h"
 
 #include <cstdint>
+#include <map>
+#include <string>
 #include <vector>
 
 namespace balign {
@@ -191,6 +193,38 @@ size_t checkDeterminism(const Procedure &Proc, const ProcedureProfile &Train,
 /// result. Returns the number of findings reported.
 size_t reportShieldFindings(const ProgramAlignment &Alignment,
                             DiagnosticEngine &Diags);
+
+//===--------------------------------------------------------------------===//
+// 8. trace (balign-scope bridge)
+//===--------------------------------------------------------------------===//
+
+class TraceSession;
+struct TraceSpan;
+
+/// Validates a drained balign-scope span stream: every span must have
+/// EndNs >= StartNs (trace.negative-duration), the spans opened by each
+/// thread must nest like a call stack — a span at depth D+1 must lie
+/// inside the enclosing depth-D span's [start, end] window
+/// (trace.bad-nesting) — and the per-track sequence numbers must be
+/// contiguous from zero (trace.seq-gap), which is what makes the drain
+/// order reproducible across thread counts. Nesting is checked per
+/// *thread*, not per track: the main thread's verify hooks run on a
+/// procedure's track at the main thread's depth. Returns the number of
+/// errors reported.
+size_t checkTraceSpans(const std::vector<TraceSpan> &Spans,
+                       DiagnosticEngine &Diags);
+
+/// Convenience wrapper: drains \p Session and validates the spans.
+size_t checkTrace(const TraceSession &Session, DiagnosticEngine &Diags);
+
+/// Checks counter monotonicity between two snapshots of the same
+/// registry (e.g. taken before and after a pipeline stage): every
+/// counter present in \p Before must exist in \p After with a value >=
+/// its old one (trace.counter-regressed). Gauges carry no such promise
+/// and are not checked. Returns the number of errors reported.
+size_t checkCounterMonotonic(const std::map<std::string, uint64_t> &Before,
+                             const std::map<std::string, uint64_t> &After,
+                             DiagnosticEngine &Diags);
 
 } // namespace balign
 

@@ -6,7 +6,9 @@
 #include "analysis/Verifier.h"
 #include "robust/FaultInjector.h"
 #include "support/Timer.h"
+#include "trace/Scope.h"
 
+#include <algorithm>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -201,6 +203,7 @@ AlignmentCache::AlignmentCache(std::string Dir, AlignmentCacheConfig Config)
 }
 
 void AlignmentCache::loadFromDisk() {
+  ScopedSpan LoadSpan("cache.load", SpanCat::Cache);
   std::string Path = Dir + "/" + StoreFileName;
   std::vector<uint8_t> File;
   bool Exists = false;
@@ -225,33 +228,61 @@ void AlignmentCache::loadFromDisk() {
         return true;
       },
       nullptr, Config.RetrySleep);
-  Stats.Retries += Outcome.Attempts > 1 ? Outcome.Attempts - 1 : 0;
+  if (Outcome.Attempts > 1) {
+    Stats.Retries += Outcome.Attempts - 1;
+    scopeGaugeAdd("cache.retries", Outcome.Attempts - 1);
+  }
   if (!Outcome.Succeeded) {
     // Persistent read failure: degrade to a cold cache. Every lookup
     // recomputes (correct, just slower), and the next flush rebuilds
     // the store from scratch.
     ++Stats.LoadFailures;
+    scopeCounterAdd("cache.load-failures");
     return;
   }
   if (!Exists)
     return;
 
-  if (File.size() < HeaderBytes ||
-      std::memcmp(File.data(), StoreMagic, sizeof(StoreMagic)) != 0) {
-    ++Stats.Invalidations; // Not ours or cut off before the header.
+  // Corruption taxonomy for everything below: a *truncated* store (a
+  // crash or full disk cut the file short) is a partial-load failure —
+  // every complete preceding entry is salvaged and exactly one
+  // load-failures increment is reported, never double-counted through
+  // the retry wrapper above (truncation is not transient, so it is not
+  // retried at all). Content that is the wrong *shape* (foreign magic,
+  // old version, an absurd length field, a checksum mismatch) is
+  // invalidation: the store was read fine but its content is discarded.
+  if (File.size() < HeaderBytes) {
+    if (std::memcmp(File.data(), StoreMagic,
+                    std::min(File.size(), sizeof(StoreMagic))) == 0) {
+      ++Stats.LoadFailures; // Our store, cut off mid-header.
+      scopeCounterAdd("cache.load-failures");
+    } else {
+      ++Stats.Invalidations; // Not our file at all.
+      scopeCounterAdd("cache.invalidations");
+    }
+    return;
+  }
+  if (std::memcmp(File.data(), StoreMagic, sizeof(StoreMagic)) != 0) {
+    ++Stats.Invalidations; // Not ours.
+    scopeCounterAdd("cache.invalidations");
     return;
   }
   uint32_t Version = 0;
   std::memcpy(&Version, File.data() + sizeof(StoreMagic), sizeof(Version));
   if (Version != CacheFormatVersion) {
     ++Stats.Invalidations; // Old format: discard wholesale.
+    scopeCounterAdd("cache.invalidations");
     return;
   }
 
+  uint64_t Salvaged = 0;
+  bool SawCorruption = false;
   size_t Pos = HeaderBytes;
   while (Pos < File.size()) {
     if (File.size() - Pos < EntryOverheadBytes) {
-      ++Stats.Invalidations; // Truncated mid-entry.
+      ++Stats.LoadFailures; // Truncated mid-entry: partial load.
+      scopeCounterAdd("cache.load-failures");
+      SawCorruption = true;
       break;
     }
     ByteReader R{File.data() + Pos, File.size() - Pos};
@@ -259,9 +290,16 @@ void AlignmentCache::loadFromDisk() {
     Key.Hi = R.u64();
     Key.Lo = R.u64();
     uint32_t PayloadSize = R.u32();
-    if (PayloadSize > MaxReasonablePayload ||
-        File.size() - Pos - R.Pos < PayloadSize + sizeof(uint64_t)) {
-      ++Stats.Invalidations; // Corrupt length or truncated payload.
+    if (PayloadSize > MaxReasonablePayload) {
+      ++Stats.Invalidations; // Corrupt length field; cannot resync.
+      scopeCounterAdd("cache.invalidations");
+      SawCorruption = true;
+      break;
+    }
+    if (File.size() - Pos - R.Pos < PayloadSize + sizeof(uint64_t)) {
+      ++Stats.LoadFailures; // Truncated mid-payload: partial load.
+      scopeCounterAdd("cache.load-failures");
+      SawCorruption = true;
       break;
     }
     std::vector<uint8_t> Payload(File.data() + Pos + R.Pos,
@@ -272,10 +310,16 @@ void AlignmentCache::loadFromDisk() {
     if (Checksum !=
         entryChecksum(Key.Hi, Key.Lo, Payload.data(), Payload.size())) {
       ++Stats.Invalidations; // Bit rot; sizes were plausible, so the
+      scopeCounterAdd("cache.invalidations");
+      SawCorruption = true;
       continue;              // stream stays aligned — keep salvaging.
     }
+    ++Salvaged;
     insertLocked(Key, std::move(Payload)); // Ctor context: single thread.
   }
+  scopeCounterAdd("cache.loaded-entries", Salvaged);
+  if (SawCorruption)
+    scopeCounterAdd("cache.salvaged-entries", Salvaged);
 }
 
 void AlignmentCache::touchLocked(Entry &E, const Fingerprint &Key) {
@@ -312,6 +356,7 @@ void AlignmentCache::evictLocked() {
     Entries.erase(It);
     Lru.pop_front();
     ++Stats.Evictions;
+    scopeCounterAdd("cache.evictions");
   }
   Stats.Entries = Entries.size();
 }
@@ -320,6 +365,7 @@ bool AlignmentCache::lookup(const Procedure &Proc,
                             const ProcedureProfile &Train,
                             const AlignmentOptions &Options, size_t ProcIndex,
                             ProcedureAlignment &Out) {
+  ScopedSpan LookupSpan("cache.lookup", SpanCat::Cache);
   CpuStopwatch Timer;
   Fingerprint Key = fingerprintProcedureInputs(Proc, Train, Options,
                                                ProcIndex);
@@ -332,6 +378,7 @@ bool AlignmentCache::lookup(const Procedure &Proc,
     if (It == Entries.end()) {
       ++Stats.Misses;
       Stats.LookupSeconds += Timer.seconds();
+      scopeCounterAdd("cache.misses");
       return false;
     }
     Payload = It->second.Payload;
@@ -356,11 +403,14 @@ bool AlignmentCache::lookup(const Procedure &Proc,
     ++Stats.Invalidations;
     ++Stats.Misses;
     Stats.LookupSeconds += Timer.seconds();
+    scopeCounterAdd("cache.invalidations");
+    scopeCounterAdd("cache.misses");
     return false;
   }
   Out = std::move(PA);
   ++Stats.Hits;
   Stats.LookupSeconds += Timer.seconds();
+  scopeCounterAdd("cache.hits");
   return true;
 }
 
@@ -368,6 +418,7 @@ void AlignmentCache::store(const Procedure &Proc,
                            const ProcedureProfile &Train,
                            const AlignmentOptions &Options, size_t ProcIndex,
                            const ProcedureAlignment &Result) {
+  ScopedSpan StoreSpan("cache.store", SpanCat::Cache);
   CpuStopwatch Timer;
   Fingerprint Key = fingerprintProcedureInputs(Proc, Train, Options,
                                                ProcIndex);
@@ -376,9 +427,11 @@ void AlignmentCache::store(const Procedure &Proc,
   insertLocked(Key, std::move(Payload));
   ++Stats.Stores;
   Stats.StoreSeconds += Timer.seconds();
+  scopeCounterAdd("cache.stores");
 }
 
 bool AlignmentCache::flush(std::string *Error) {
+  ScopedSpan FlushSpan("cache.flush", SpanCat::Cache);
   CpuStopwatch Timer;
   std::lock_guard<std::mutex> Lock(Mutex);
   if (Dir.empty())
@@ -445,19 +498,24 @@ bool AlignmentCache::flush(std::string *Error) {
         return true;
       },
       &FlushError, Config.RetrySleep);
-  Stats.Retries += Outcome.Attempts > 1 ? Outcome.Attempts - 1 : 0;
+  if (Outcome.Attempts > 1) {
+    Stats.Retries += Outcome.Attempts - 1;
+    scopeGaugeAdd("cache.retries", Outcome.Attempts - 1);
+  }
   Stats.StoreSeconds += Timer.seconds();
   if (!Outcome.Succeeded) {
-    // Persistent write failure: downgrade to memory-only so the rest of
-    // the run neither blocks on a broken disk nor loses correctness —
-    // only warm-start persistence is sacrificed.
+    // Persistent write failure: downgrade to a memory-only cache so the
+    // rest of the run neither blocks on a broken disk nor loses
+    // correctness — only warm-start persistence is sacrificed.
     ++Stats.FlushFailures;
+    scopeCounterAdd("cache.flush-failures");
     DiskDisabled = true;
     if (Error)
       *Error = FlushError + " (cache downgraded to memory-only)";
     return false;
   }
   Stats.BytesWritten += File.size();
+  scopeCounterAdd("cache.bytes-written", File.size());
   return true;
 }
 

@@ -25,9 +25,12 @@ std::string balign::printProgram(const Program &Prog) {
         Out << " ->";
         for (BlockId Succ : Succs) {
           const BasicBlock &Target = Proc.block(Succ);
-          Out << " "
-              << (Target.Name.empty() ? "b" + std::to_string(Succ)
-                                      : Target.Name);
+          std::string SuccName = Target.Name;
+          if (SuccName.empty()) {
+            SuccName = "b";
+            SuccName += std::to_string(Succ);
+          }
+          Out << " " << SuccName;
         }
       }
       Out << "\n";

@@ -3,6 +3,7 @@
 #include "profile/ProfileIO.h"
 
 #include "robust/FaultInjector.h"
+#include "trace/Scope.h"
 
 #include <cassert>
 #include <map>
@@ -94,6 +95,7 @@ bool parseUInt(const std::string &Text, uint64_t &Out) {
 std::optional<ProgramProfile>
 balign::parseProgramProfile(const Program &Prog, const std::string &Text,
                             std::string *Error) {
+  ScopedSpan ParseSpan("profile.parse", SpanCat::Io);
   ProfileParser P(Text, Error);
   // balign-shield fault site: a corrupt profile record manifests to
   // callers exactly like this injected failure — an error return through

@@ -2,6 +2,8 @@
 
 #include "robust/FaultInjector.h"
 
+#include "trace/Scope.h"
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -181,10 +183,19 @@ bool FaultInjector::shouldFail(FaultSite Site) {
     return false;
   if (SuppressDepth != 0)
     return false;
-  std::lock_guard<std::mutex> Lock(Mutex);
-  size_t I = static_cast<size_t>(Site);
-  uint64_t Hit = ++Hits[I];
-  return Specs[I].fires(Hit);
+  bool Fired;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    size_t I = static_cast<size_t>(Site);
+    uint64_t Hit = ++Hits[I];
+    Fired = Specs[I].fires(Hit);
+  }
+  // The total fired count per site is a pure function of the spec and
+  // the number of probes, even when parallel workers interleave *which*
+  // hit indices they consume — so this is a counter, not a gauge.
+  if (Fired)
+    scopeCounterAdd("shield.faults-fired");
+  return Fired;
 }
 
 uint64_t FaultInjector::hits(FaultSite Site) const {

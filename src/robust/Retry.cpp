@@ -2,6 +2,8 @@
 
 #include "robust/Retry.h"
 
+#include "trace/Scope.h"
+
 #include <algorithm>
 #include <chrono>
 #include <thread>
@@ -21,6 +23,9 @@ RetryOutcome balign::retryWithBackoff(
   uint64_t BackoffMs = Policy.InitialBackoffMs;
   for (unsigned A = 0; A != MaxAttempts; ++A) {
     if (A != 0) {
+      // A gauge, not a counter: retry totals depend on which transient
+      // faults a particular run observed, not on the inputs.
+      scopeGaugeAdd("shield.retries");
       if (Sleep)
         Sleep(BackoffMs);
       else

@@ -1,0 +1,35 @@
+//===- support/Flags.cpp --------------------------------------------------===//
+
+#include "support/Flags.h"
+
+#include "support/Parse.h"
+
+#include <cstdio>
+#include <optional>
+
+using namespace balign;
+
+const char *balign::flagValue(const char *Flag, int Argc, char **Argv,
+                              int &I) {
+  if (I + 1 >= Argc) {
+    std::fprintf(stderr, "error: %s requires a value\n", Flag);
+    return nullptr;
+  }
+  return Argv[++I];
+}
+
+bool balign::flagUInt(const char *Flag, int Argc, char **Argv, int &I,
+                      uint64_t &Out, uint64_t Max) {
+  const char *V = flagValue(Flag, Argc, Argv, I);
+  if (!V)
+    return false;
+  std::optional<uint64_t> N = parseFlagInt(V, Max);
+  if (!N) {
+    std::fprintf(stderr,
+                 "error: %s wants a decimal integer in [0, %llu], got '%s'\n",
+                 Flag, static_cast<unsigned long long>(Max), V);
+    return false;
+  }
+  Out = *N;
+  return true;
+}

@@ -1,0 +1,42 @@
+//===- support/Flags.h - Checked CLI flag consumption ---------------------===//
+//
+// Part of the balign project (PLDI 1997 branch-alignment reproduction).
+//
+//===--------------------------------------------------------------------===//
+///
+/// \file
+/// Shared, checked consumption of value-taking command-line flags. Every
+/// bundled tool used to hand-roll the same two moves — "take the next
+/// argv slot as this flag's value" and "parse it as a strict decimal" —
+/// and the copies drifted: different error texts, and loops that could
+/// walk past argv when the value was missing. These helpers are the one
+/// checked implementation; they print a uniform usage error to stderr
+/// and report failure instead of reading out of bounds or truncating.
+///
+//===--------------------------------------------------------------------===//
+
+#ifndef BALIGN_SUPPORT_FLAGS_H
+#define BALIGN_SUPPORT_FLAGS_H
+
+#include <cstdint>
+
+namespace balign {
+
+/// Consumes the value of \p Flag: advances \p I and returns Argv[I].
+/// When the flag is the last argument, prints
+/// "error: <flag> requires a value" to stderr and returns nullptr
+/// without advancing.
+const char *flagValue(const char *Flag, int Argc, char **Argv, int &I);
+
+/// Consumes and strictly parses the numeric value of \p Flag through
+/// parseFlagInt (complete decimal literal, no signs/whitespace/suffixes,
+/// result <= \p Max). On failure prints
+/// "error: <flag> wants a decimal integer in [0, <max>], got '<value>'"
+/// (or the missing-value error) to stderr and returns false; \p Out is
+/// written only on success.
+bool flagUInt(const char *Flag, int Argc, char **Argv, int &I, uint64_t &Out,
+              uint64_t Max = UINT64_MAX);
+
+} // namespace balign
+
+#endif // BALIGN_SUPPORT_FLAGS_H

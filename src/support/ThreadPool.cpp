@@ -2,6 +2,8 @@
 
 #include "support/ThreadPool.h"
 
+#include "trace/Scope.h"
+
 #include <cassert>
 
 using namespace balign;
@@ -52,6 +54,10 @@ void ThreadPool::submit(Task T) {
     std::lock_guard<std::mutex> Guard(StateMutex);
     assert(!Stopping && "submit after destruction began");
     ++QueuedTasks;
+    // Gauges, not counters: serial pipelines never construct a pool, so
+    // pool metrics are inherently thread-count-dependent.
+    scopeGaugeAdd("pool.tasks");
+    scopeGaugeMax("pool.queue-depth", QueuedTasks);
     Target = Nested ? CurrentWorker : NextQueue++ % Queues.size();
   }
   {
@@ -85,6 +91,7 @@ bool ThreadPool::tryRunOneTask(size_t SelfIndex) {
       T = std::move(Queues[Victim]->Q.back());
       Queues[Victim]->Q.pop_back();
       Claimed = true;
+      scopeGaugeAdd("pool.steals");
     }
   }
   if (!Claimed)

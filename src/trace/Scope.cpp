@@ -1,0 +1,186 @@
+//===- trace/Scope.cpp ----------------------------------------------------===//
+
+#include "trace/Scope.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace balign;
+
+std::atomic<TraceSession *> TraceSession::ActiveSession{nullptr};
+
+namespace {
+
+/// The calling thread's current track; TrackScope stacks bindings.
+thread_local int64_t CurrentTrack = ProgramTrack;
+
+/// Count of open traced spans on this thread. Begin/end pairs are RAII,
+/// so the counter is balanced whenever no ScopedSpan is alive.
+thread_local uint32_t CurrentDepth = 0;
+
+/// Per-thread cache of the session-local thread id, keyed by session
+/// epoch so a later session never inherits a stale id.
+thread_local uint64_t CachedIdEpoch = 0;
+thread_local uint32_t CachedThreadId = 0;
+
+std::atomic<uint64_t> NextEpoch{1};
+
+} // namespace
+
+const char *balign::spanCatName(SpanCat Cat) {
+  switch (Cat) {
+  case SpanCat::Pipeline:
+    return "pipeline";
+  case SpanCat::Stage:
+    return "stage";
+  case SpanCat::Solver:
+    return "solver";
+  case SpanCat::Cache:
+    return "cache";
+  case SpanCat::Verify:
+    return "verify";
+  case SpanCat::Io:
+    return "io";
+  }
+  return "?";
+}
+
+//===--------------------------------------------------------------------===//
+// MetricRegistry
+//===--------------------------------------------------------------------===//
+
+void MetricRegistry::counterAdd(const std::string &Name, uint64_t Delta) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Counters[Name] += Delta;
+}
+
+void MetricRegistry::gaugeAdd(const std::string &Name, uint64_t Delta) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Gauges[Name] += Delta;
+}
+
+void MetricRegistry::gaugeMax(const std::string &Name, uint64_t Value) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  uint64_t &Slot = Gauges[Name];
+  if (Value > Slot)
+    Slot = Value;
+}
+
+uint64_t MetricRegistry::counter(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Counters.find(Name);
+  return It != Counters.end() ? It->second : 0;
+}
+
+uint64_t MetricRegistry::gauge(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Gauges.find(Name);
+  return It != Gauges.end() ? It->second : 0;
+}
+
+std::map<std::string, uint64_t> MetricRegistry::counters() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counters;
+}
+
+std::map<std::string, uint64_t> MetricRegistry::gauges() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Gauges;
+}
+
+//===--------------------------------------------------------------------===//
+// TraceSession
+//===--------------------------------------------------------------------===//
+
+TraceSession::TraceSession()
+    : Epoch(NextEpoch.fetch_add(1, std::memory_order_relaxed)),
+      Start(std::chrono::steady_clock::now()) {}
+
+TraceSession::~TraceSession() { uninstall(); }
+
+void TraceSession::install() {
+  TraceSession *Expected = nullptr;
+  bool Installed = ActiveSession.compare_exchange_strong(Expected, this);
+  assert(Installed && "another TraceSession is already installed");
+  (void)Installed;
+}
+
+void TraceSession::uninstall() {
+  TraceSession *Expected = this;
+  ActiveSession.compare_exchange_strong(Expected, nullptr);
+}
+
+uint64_t TraceSession::nowNs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Start)
+          .count());
+}
+
+uint32_t TraceSession::threadId() {
+  if (CachedIdEpoch != Epoch) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    CachedThreadId = NextThreadId++;
+    CachedIdEpoch = Epoch;
+  }
+  return CachedThreadId;
+}
+
+TraceSession::SpanToken TraceSession::beginSpan() {
+  SpanToken Token;
+  Token.StartNs = nowNs();
+  Token.Track = CurrentTrack;
+  Token.Depth = CurrentDepth++;
+  Token.ThreadId = threadId();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Token.Seq = NextSeq[Token.Track]++;
+  return Token;
+}
+
+void TraceSession::endSpan(const SpanToken &Token, const char *Name,
+                           SpanCat Cat) {
+  uint64_t End = nowNs();
+  if (CurrentDepth > 0)
+    --CurrentDepth;
+  TraceSpan Span;
+  Span.Name = Name;
+  Span.Cat = Cat;
+  Span.Track = Token.Track;
+  Span.Seq = Token.Seq;
+  Span.Depth = Token.Depth;
+  Span.ThreadId = Token.ThreadId;
+  Span.StartNs = Token.StartNs;
+  Span.EndNs = End;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Spans.push_back(Span);
+}
+
+size_t TraceSession::numSpans() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Spans.size();
+}
+
+std::vector<TraceSpan> TraceSession::drainSpans() const {
+  std::vector<TraceSpan> Drained;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Drained = Spans;
+  }
+  std::sort(Drained.begin(), Drained.end(),
+            [](const TraceSpan &A, const TraceSpan &B) {
+              if (A.Track != B.Track)
+                return A.Track < B.Track;
+              return A.Seq < B.Seq;
+            });
+  return Drained;
+}
+
+//===--------------------------------------------------------------------===//
+// TrackScope
+//===--------------------------------------------------------------------===//
+
+TrackScope::TrackScope(int64_t Track) : Saved(CurrentTrack) {
+  CurrentTrack = Track;
+}
+
+TrackScope::~TrackScope() { CurrentTrack = Saved; }

@@ -6,6 +6,7 @@
 #include "tsp/Construct.h"
 #include "tsp/LocalSearch.h"
 #include "tsp/Transform.h"
+#include "trace/Scope.h"
 
 #include <algorithm>
 #include <cassert>
@@ -76,9 +77,26 @@ struct Solver {
     return Dtsp.tourCost(Directed);
   }
 
+  /// Batches the solver's inner-loop metrics into two counter
+  /// publications per run (its destructor), so tracing costs the hot
+  /// loop two additions instead of two registry locks per iteration.
+  /// Flushing from a destructor also keeps budget-tripped runs counted.
+  struct RunCounters {
+    uint64_t Iterations = 0;
+    uint64_t Kicks = 0;
+    ~RunCounters() {
+      if (Iterations)
+        scopeCounterAdd("solver.iterations", Iterations);
+      if (Kicks)
+        scopeCounterAdd("solver.kicks", Kicks);
+    }
+  };
+
   /// One iterated-3-Opt run from the given start tour.
   std::pair<std::vector<City>, int64_t> run(std::vector<City> Start,
                                             Rng &Rng) {
+    ScopedSpan RunSpan("solver.run", SpanCat::Solver);
+    RunCounters Counters;
     std::vector<City> Best = std::move(Start);
     int64_t BestCost = optimize(Best);
     size_t Iterations = std::min<size_t>(
@@ -91,8 +109,11 @@ struct Solver {
     for (size_t Iter = 0; Iter != Iterations; ++Iter) {
       if (Options.Budget)
         Options.Budget->check("iterated 3-Opt");
+      ++Counters.Iterations;
       std::vector<City> Candidate = Best;
       doubleBridge(Candidate, Rng, &Touched);
+      if (!Touched.empty())
+        ++Counters.Kicks;
       int64_t Cost = optimize(Candidate, Touched.empty() ? nullptr
                                                          : &Touched);
       if (Cost < BestCost) {
@@ -170,6 +191,7 @@ DtspSolution balign::solveDirectedTsp(const DirectedTsp &Dtsp,
   }
 
   assert(!RunCosts.empty() && "solver performed no runs");
+  scopeCounterAdd("solver.runs", RunCosts.size());
   Solution.Tour = std::move(BestTour);
   Solution.Cost = BestCost;
   Solution.NumRuns = static_cast<unsigned>(RunCosts.size());

@@ -3,12 +3,14 @@
 #include "tsp/Transform.h"
 
 #include "robust/FaultInjector.h"
+#include "trace/Scope.h"
 
 #include <cassert>
 
 using namespace balign;
 
 SymmetricTransform balign::transformToSymmetric(const DirectedTsp &Dtsp) {
+  ScopedSpan Span("tsp.transform", SpanCat::Solver);
   // balign-shield fault site: stands in for any failure while building
   // the O(N^2) symmetric instance (e.g. allocation failure on a
   // pathological procedure).

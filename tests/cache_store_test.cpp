@@ -255,11 +255,68 @@ TEST(CacheStoreTest, TruncatedFileSalvagesPrefix) {
 
   AlignmentCache Reopened(Dir);
   EXPECT_EQ(Reopened.size(), 2u);
-  EXPECT_EQ(Reopened.stats().Invalidations, 1u);
+  // Truncation (a crash or full disk cut the store short) is a load
+  // failure, not a content invalidation: the preceding entries are
+  // intact and the taxonomy must say "the file ended early".
+  EXPECT_EQ(Reopened.stats().LoadFailures, 1u);
+  EXPECT_EQ(Reopened.stats().Invalidations, 0u);
   size_t Hits = 0;
   for (size_t P = 0; P != 3; ++P)
     Hits += lookupOne(Reopened, W, P) ? 1 : 0;
   EXPECT_EQ(Hits, 2u);
+}
+
+TEST(CacheStoreTest, TruncationAtEveryByteOffset) {
+  // Exhaustive crash-cut sweep: a store prefix of every possible length
+  // must (a) salvage exactly the complete entries it contains, (b)
+  // report exactly one load failure unless the cut falls on an entry
+  // boundary (where the file is short but self-consistent), and (c)
+  // never misclassify a truncation as a content invalidation.
+  Workload W = makeWorkload(2);
+  std::string Dir = freshDir("everycut");
+  {
+    AlignmentCache Cache(Dir);
+    storeAll(Cache, W);
+    ASSERT_TRUE(Cache.flush());
+  }
+  std::vector<uint8_t> Full = readFile(storePath(Dir));
+
+  // Walk the entry framing (key[16] + size u32 + payload + checksum u64)
+  // to find the clean cut points: end-of-header and each entry's end.
+  std::vector<size_t> Boundaries{HeaderBytes};
+  size_t Pos = HeaderBytes;
+  while (Pos < Full.size()) {
+    uint32_t PayloadSize = readU32(Full, Pos + 16);
+    Pos += 16 + 4 + PayloadSize + 8;
+    Boundaries.push_back(Pos);
+  }
+  ASSERT_EQ(Pos, Full.size());
+  ASSERT_EQ(Boundaries.size(), 3u);
+
+  for (size_t Cut = 0; Cut != Full.size(); ++Cut) {
+    std::vector<uint8_t> File(Full.begin(), Full.begin() + Cut);
+    writeFile(storePath(Dir), File);
+
+    size_t CompleteEntries = 0;
+    bool CleanCut = false;
+    for (size_t B = 0; B != Boundaries.size(); ++B) {
+      if (Cut >= Boundaries[B])
+        CompleteEntries = B;
+      CleanCut |= Cut == Boundaries[B];
+    }
+
+    AlignmentCache Reopened(Dir);
+    CacheStats S = Reopened.stats();
+    EXPECT_EQ(Reopened.size(), CompleteEntries) << "cut at " << Cut;
+    EXPECT_EQ(S.LoadFailures, CleanCut ? 0u : 1u) << "cut at " << Cut;
+    EXPECT_EQ(S.Invalidations, 0u) << "cut at " << Cut;
+    EXPECT_EQ(S.Retries, 0u) << "cut at " << Cut;
+
+    size_t Hits = 0;
+    for (size_t P = 0; P != 2; ++P)
+      Hits += lookupOne(Reopened, W, P) ? 1 : 0;
+    EXPECT_EQ(Hits, CompleteEntries) << "cut at " << Cut;
+  }
 }
 
 TEST(CacheStoreTest, HeaderTruncationDiscardsStore) {
@@ -275,7 +332,10 @@ TEST(CacheStoreTest, HeaderTruncationDiscardsStore) {
   writeFile(storePath(Dir), File);
   AlignmentCache Reopened(Dir);
   EXPECT_EQ(Reopened.size(), 0u);
-  EXPECT_EQ(Reopened.stats().Invalidations, 1u);
+  // The magic prefix still matches, so this is our store cut mid-header:
+  // a truncation (load failure), not foreign content.
+  EXPECT_EQ(Reopened.stats().LoadFailures, 1u);
+  EXPECT_EQ(Reopened.stats().Invalidations, 0u);
 }
 
 TEST(CacheStoreTest, WrongVersionDiscardsWholesale) {

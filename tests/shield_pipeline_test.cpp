@@ -9,6 +9,7 @@
 //===--------------------------------------------------------------------===//
 
 #include "align/Pipeline.h"
+#include "analysis/PipelineVerifier.h"
 #include "ir/CFGBuilder.h"
 #include "profile/Trace.h"
 #include "robust/FaultInjector.h"
@@ -366,4 +367,78 @@ TEST(ShieldPipelineTest, UnprofiledProceduresBypassTheShield) {
       << "keeping an unprofiled layout is designed behavior, not a failure";
   EXPECT_EQ(Result.Procs[1].TspLayout.Order,
             Layout::original(Prog.proc(1)).Order);
+}
+
+TEST(ShieldPipelineTest, VerifyReplaysDoNotSkewFaultHitsUnderDeadline) {
+  // The satellite regression: --verify=full replays matrix builds and
+  // solves through the same production stages that carry fault probes,
+  // under ScopedSuppress, while a whole-run deadline may fire
+  // mid-procedure. Suppressed replays must neither consume per-site hit
+  // counters (skewing a rate=N/D@SEED sequence for later procedures)
+  // nor poll the deadline clock (shifting when it expires) — so a
+  // verified run and a plain run must observe identical hits, rungs,
+  // and failures.
+  FaultInjector::instance().reset();
+  Program Prog = twoProcs(23);
+  ProgramProfile Train = profileAll(Prog, 29);
+
+  struct Outcome {
+    uint64_t SolveHits = 0;
+    uint64_t TransformHits = 0;
+    std::vector<LadderRung> Rungs;
+    size_t Failures = 0;
+    bool DeadlineTripped = false;
+  };
+  // A counting clock makes "the deadline fires mid-procedure"
+  // deterministic at Threads=1: every poll advances time by 1ms, so
+  // expiry lands on the Nth poll regardless of host speed.
+  auto runOnce = [&](bool Verified) {
+    uint64_t Polls = 0;
+    ClockFn Clock = [&Polls] { return ++Polls; };
+    Deadline RunDeadline(60, Clock);
+    AlignmentOptions Options;
+    Options.ComputeBounds = true;
+    Options.OnError = OnErrorPolicy::Fallback;
+    Options.Threads = 1;
+    Options.Clock = Clock;
+    Options.RunDeadline = &RunDeadline;
+    ScopedFault Solve(FaultSite::TspSolve, FaultSpec::rate(1, 3, 77));
+    // Arming resets the tsp.solve hit counter, but tsp.transform is
+    // only probed (never armed) here — snapshot it so each run reports
+    // its own delta rather than the process-lifetime total.
+    uint64_t TransformBefore =
+        FaultInjector::instance().hits(FaultSite::TspTransform);
+    ProgramAlignment A;
+    if (Verified) {
+      DiagnosticEngine Diags;
+      VerifyOptions V;
+      V.Level = VerifyLevel::Full;
+      A = alignProgramVerified(Prog, Train, Options, Diags, V);
+      EXPECT_FALSE(Diags.hasErrors()) << Diags.renderAll();
+    } else {
+      A = alignProgram(Prog, Train, Options);
+    }
+    Outcome O;
+    O.SolveHits = FaultInjector::instance().hits(FaultSite::TspSolve);
+    O.TransformHits =
+        FaultInjector::instance().hits(FaultSite::TspTransform) -
+        TransformBefore;
+    for (const ProcedureAlignment &P : A.Procs)
+      O.Rungs.push_back(P.Rung);
+    O.Failures = A.Failures.size();
+    for (const ProcedureFailure &F : A.Failures.Failures)
+      O.DeadlineTripped |= F.Kind == FailureKind::Deadline;
+    return O;
+  };
+
+  Outcome Plain = runOnce(false);
+  Outcome Verified = runOnce(true);
+
+  EXPECT_EQ(Plain.SolveHits, Verified.SolveHits)
+      << "verify replays consumed tsp.solve hits";
+  EXPECT_EQ(Plain.TransformHits, Verified.TransformHits)
+      << "verify replays consumed tsp.transform hits";
+  EXPECT_EQ(Plain.Rungs, Verified.Rungs)
+      << "verify replays shifted the deadline's expiry point";
+  EXPECT_EQ(Plain.Failures, Verified.Failures);
 }

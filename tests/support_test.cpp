@@ -1,6 +1,7 @@
 //===- tests/support_test.cpp - Support library tests ----------------------===//
 
 #include "align/Pipeline.h"
+#include "support/Flags.h"
 #include "support/Format.h"
 #include "support/Parse.h"
 #include "support/Random.h"
@@ -172,6 +173,89 @@ TEST(ParseFlagIntTest, BoundedOverloadEnforcesMax) {
   EXPECT_EQ(parseFlagInt("64", 64), 64u);
   EXPECT_FALSE(parseFlagInt("65", 64));
   EXPECT_FALSE(parseFlagInt("18446744073709551615", 64));
+}
+
+TEST(ParseFlagIntTest, BoundedOverloadBoundaries) {
+  // Value == Max is in range, including at both extremes of uint64_t.
+  EXPECT_EQ(parseFlagInt("18446744073709551615", UINT64_MAX), UINT64_MAX);
+  EXPECT_EQ(parseFlagInt("0", 0), 0u);
+  EXPECT_FALSE(parseFlagInt("1", 0));
+  // Rejections are syntax-first: junk fails even when it "would fit".
+  EXPECT_FALSE(parseFlagInt("", 64));
+  EXPECT_FALSE(parseFlagInt("+8", 64));
+  EXPECT_FALSE(parseFlagInt("\t8", 64));
+  EXPECT_FALSE(parseFlagInt("0x8", 64));
+}
+
+namespace {
+
+/// argv builder for the Flags helpers: keeps the strings alive and
+/// hands out the mutable char** shape main() receives.
+struct FakeArgv {
+  explicit FakeArgv(std::vector<std::string> Args) : Store(std::move(Args)) {
+    for (std::string &A : Store)
+      Ptrs.push_back(A.data());
+  }
+  int argc() { return static_cast<int>(Ptrs.size()); }
+  char **argv() { return Ptrs.data(); }
+  std::vector<std::string> Store;
+  std::vector<char *> Ptrs;
+};
+
+} // namespace
+
+TEST(FlagsTest, FlagValueConsumesNextSlot) {
+  FakeArgv A({"tool", "--out", "file.json", "tail"});
+  int I = 1;
+  const char *V = flagValue("--out", A.argc(), A.argv(), I);
+  ASSERT_NE(V, nullptr);
+  EXPECT_STREQ(V, "file.json");
+  EXPECT_EQ(I, 2); // Points at the consumed value, loop ++I moves on.
+}
+
+TEST(FlagsTest, FlagValueAtEndOfArgvFailsWithoutAdvancing) {
+  FakeArgv A({"tool", "--out"});
+  int I = 1;
+  EXPECT_EQ(flagValue("--out", A.argc(), A.argv(), I), nullptr);
+  EXPECT_EQ(I, 1); // Must not walk past argv.
+}
+
+TEST(FlagsTest, FlagUIntParsesBoundedValue) {
+  FakeArgv A({"tool", "--threads", "8"});
+  int I = 1;
+  uint64_t Out = 0;
+  EXPECT_TRUE(flagUInt("--threads", A.argc(), A.argv(), I, Out, 64));
+  EXPECT_EQ(Out, 8u);
+  EXPECT_EQ(I, 2);
+}
+
+TEST(FlagsTest, FlagUIntAcceptsValueEqualToMax) {
+  FakeArgv A({"tool", "--threads", "64"});
+  int I = 1;
+  uint64_t Out = 0;
+  EXPECT_TRUE(flagUInt("--threads", A.argc(), A.argv(), I, Out, 64));
+  EXPECT_EQ(Out, 64u);
+}
+
+TEST(FlagsTest, FlagUIntLeavesOutUntouchedOnFailure) {
+  uint64_t Out = 1234;
+  {
+    FakeArgv A({"tool", "--threads", "sixty"});
+    int I = 1;
+    EXPECT_FALSE(flagUInt("--threads", A.argc(), A.argv(), I, Out, 64));
+  }
+  {
+    FakeArgv A({"tool", "--threads", "65"});
+    int I = 1;
+    EXPECT_FALSE(flagUInt("--threads", A.argc(), A.argv(), I, Out, 64));
+  }
+  {
+    FakeArgv A({"tool", "--threads"});
+    int I = 1;
+    EXPECT_FALSE(flagUInt("--threads", A.argc(), A.argv(), I, Out, 64));
+    EXPECT_EQ(I, 1);
+  }
+  EXPECT_EQ(Out, 1234u);
 }
 
 TEST(SeedStreamTest, DerivedSeedsArePairwiseDistinct) {
