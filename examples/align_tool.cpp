@@ -14,6 +14,8 @@
 //              [--on-error abort|fallback|skip] [--time-budget MS]
 //              [--deadline MS] [--checkpoint FILE]
 //              [--trace FILE] [--metrics] [--metrics-json FILE]
+//              [--lint[=warn|err]] [--lint-json FILE]
+//              [--effort-policy uniform|scaled|scaled-cold-greedy]
 //
 // With no file argument a built-in demo program is used, so the tool is
 // runnable out of the box.
@@ -32,10 +34,20 @@
 //
 //   0  success (including runs that degraded procedures under
 //      --on-error=fallback/skip — degradations are reported on stderr)
-//   1  usage error, unreadable/unparsable input, or --verify errors
+//   1  usage error, unreadable/unparsable input, --verify errors, or
+//      error-severity lint findings under --lint / --lint=err
 //   2  alignment aborted: a procedure failed under --on-error=abort
 //      (the default policy)
 //   3  --batch finished, but some entries failed and were skipped past
+//      (including entries failing --lint=err)
+//
+// --lint runs the balign-lint static CFG/profile checks before aligning.
+// All lint output goes to stderr (and --lint-json FILE), so stdout stays
+// byte-identical with unlinted runs. --lint=warn reports without gating;
+// --lint (or --lint=err) fails on error-severity findings — exit 1 for a
+// single program, a counted failure (exit 3) per batch entry, with the
+// rest of the batch still processed. --effort-policy feeds the same
+// static analyses forward into per-procedure solver effort.
 //
 //===--------------------------------------------------------------------===//
 
@@ -50,6 +62,8 @@
 #include "profile/ProfileIO.h"
 #include "profile/Trace.h"
 #include "robust/FaultInjector.h"
+#include "static/EffortPolicy.h"
+#include "static/Lint.h"
 #include "support/Flags.h"
 #include "support/Format.h"
 #include "support/Parse.h"
@@ -88,6 +102,13 @@ proc dispatch {
 }
 )";
 
+/// What --lint gates on.
+enum class LintMode : uint8_t {
+  Off,  ///< Lint does not run (unless --lint-json asks for the report).
+  Warn, ///< Report findings on stderr; never changes the exit code.
+  Err,  ///< Error-severity findings fail the run / the batch entry.
+};
+
 struct ToolOptions {
   std::string File;
   std::string AlignerName = "tsp";
@@ -117,6 +138,11 @@ struct ToolOptions {
   std::string MetricsJsonFile; ///< --metrics-json: machine counters.
   bool Metrics = false;        ///< --metrics: text summary on stderr.
 
+  // balign-lint flags. Lint output goes to stderr and --lint-json only.
+  LintMode Lint = LintMode::Off;
+  std::string LintJsonFile; ///< --lint-json: JSON report (implies lint).
+  EffortPolicy Effort = EffortPolicy::Uniform; ///< --effort-policy.
+
   /// True when any shield flag was given; forces the pipeline path and
   /// enables the stderr shield report.
   bool shieldActive() const {
@@ -126,6 +152,11 @@ struct ToolOptions {
   /// True when any balign-scope flag was given; installs the session.
   bool traceActive() const {
     return !TraceFile.empty() || !MetricsJsonFile.empty() || Metrics;
+  }
+
+  /// True when the lint checks should run at all.
+  bool lintActive() const {
+    return Lint != LintMode::Off || !LintJsonFile.empty();
   }
 };
 
@@ -234,6 +265,29 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Options) {
       Options.MetricsJsonFile = V;
     } else if (Arg == "--metrics") {
       Options.Metrics = true;
+    } else if (Arg == "--lint" || Arg == "--lint=err") {
+      Options.Lint = LintMode::Err;
+    } else if (Arg == "--lint=warn") {
+      Options.Lint = LintMode::Warn;
+    } else if (Arg.rfind("--lint=", 0) == 0) {
+      std::fprintf(stderr, "error: unknown lint mode '%s' "
+                   "(want warn or err)\n",
+                   Arg.c_str() + std::strlen("--lint="));
+      return false;
+    } else if (Arg == "--lint-json") {
+      const char *V = needValue("--lint-json");
+      if (!V)
+        return false;
+      Options.LintJsonFile = V;
+    } else if (Arg == "--effort-policy") {
+      const char *V = needValue("--effort-policy");
+      if (!V)
+        return false;
+      if (!parseEffortPolicy(V, Options.Effort)) {
+        std::fprintf(stderr, "error: unknown --effort-policy '%s' (want "
+                     "uniform, scaled, or scaled-cold-greedy)\n", V);
+        return false;
+      }
     } else if (Arg == "--dot") {
       Options.EmitDot = true;
     } else if (Arg == "--bounds") {
@@ -296,8 +350,24 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Options) {
                   "summary to stderr\n"
                   "  --metrics-json FILE  write the counters and gauges "
                   "as machine JSON\n"
-                  "exit codes: 0 success, 1 usage/input/verify error, "
-                  "2 aborted under\n"
+                  "  --lint[=warn|err]  run the balign-lint static "
+                  "CFG/profile checks before\n"
+                  "                aligning (stderr only): err (the "
+                  "default) fails the run on\n"
+                  "                error-severity findings, warn only "
+                  "reports\n"
+                  "  --lint-json FILE  write the lint report as JSON "
+                  "(a per-entry array in\n"
+                  "                --batch mode); implies --lint=warn "
+                  "unless --lint was given\n"
+                  "  --effort-policy P  spread solver effort per "
+                  "procedure: uniform (default),\n"
+                  "                scaled (kicks follow loop nesting and "
+                  "hotness), or\n"
+                  "                scaled-cold-greedy (cold procedures "
+                  "skip the solver)\n"
+                  "exit codes: 0 success, 1 usage/input/verify/lint "
+                  "error, 2 aborted under\n"
                   "--on-error=abort, 3 batch finished with failed "
                   "entries\n");
       return false;
@@ -471,6 +541,42 @@ bool runVerified(const Program &Prog, const ProgramProfile &Counts,
   return !Diags.hasErrors();
 }
 
+/// Runs the balign-lint checks over one program, rendering every finding
+/// plus a per-program summary line to stderr (stdout stays byte-identical
+/// with unlinted runs). \p Label names the program in the summary.
+LintResult runLintChecks(const Program &Prog, const ProgramProfile &Counts,
+                         const AlignmentOptions &AlignOptions,
+                         const std::string &Label) {
+  LintResult Result = lintProgram(Prog, &Counts, &AlignOptions.Model);
+  for (const Diagnostic &D : Result.Diags.diagnostics())
+    std::fprintf(stderr, "%s\n", D.render().c_str());
+  std::fprintf(stderr,
+               "lint: %s: %s (%zu checks, worst profile class: %s)\n",
+               Label.c_str(), Result.Diags.summary().c_str(),
+               Result.ChecksRun, profileClassName(Result.worstClass()));
+  return Result;
+}
+
+/// Minimal JSON string escaping for file names in the batch lint array.
+std::string jsonEscaped(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+bool writeTextFile(const std::string &Path, const std::string &Contents) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (Out)
+    Out << Contents;
+  if (!Out)
+    std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+  return static_cast<bool>(Out);
+}
+
 /// The balign-shield stderr report: one line per degraded procedure
 /// plus the greppable counter summary. stderr only, so stdout stays
 /// byte-comparable with unshielded runs.
@@ -531,6 +637,13 @@ int runBatch(const ToolOptions &Options, AlignmentOptions &AlignOptions) {
   }
 
   size_t Printed = 0, Attempted = 0, Failed = 0, Resumed = 0;
+  // balign-lint batch bookkeeping: every entry's findings are surfaced
+  // in the end-of-batch summary (not just the first bad one), the JSON
+  // report becomes a per-entry array, and under --lint (=err) an entry
+  // with error findings is a counted failure the batch continues past.
+  size_t Linted = 0, LintDirty = 0;
+  std::string LintJson = "[";
+  std::vector<std::string> LintSummaries;
   std::string Line;
   while (std::getline(In, Line)) {
     std::string ProgramFile, ProfileFile;
@@ -563,6 +676,27 @@ int runBatch(const ToolOptions &Options, AlignmentOptions &AlignOptions) {
                    ProgramFile.c_str(), ProfileFile.c_str());
       continue;
     }
+    if (Options.lintActive()) {
+      LintResult LR = runLintChecks(*Prog, *Counts, AlignOptions,
+                                    ProgramFile);
+      ++Linted;
+      if (!LR.Diags.diagnostics().empty())
+        ++LintDirty;
+      LintSummaries.push_back(ProgramFile + ": " + LR.Diags.summary() +
+                              " (worst profile class: " +
+                              profileClassName(LR.worstClass()) + ")");
+      if (Linted > 1)
+        LintJson += ",";
+      LintJson += "{\"file\":\"" + jsonEscaped(ProgramFile) +
+                  "\",\"report\":" + lintReportJson(LR) + "}";
+      if (Options.Lint == LintMode::Err && LR.failedAt(Severity::Error)) {
+        ++Failed;
+        std::fprintf(stderr, "error: batch entry '%s': lint found "
+                     "errors; continuing\n",
+                     ProgramFile.c_str());
+        continue;
+      }
+    }
     if (Printed++)
       std::printf("\n");
     std::printf("== %s ==\n", ProgramFile.c_str());
@@ -586,6 +720,17 @@ int runBatch(const ToolOptions &Options, AlignmentOptions &AlignOptions) {
   if (Attempted == 0 && Resumed == 0)
     std::fprintf(stderr, "warning: batch file '%s' lists no programs\n",
                  Options.BatchFile.c_str());
+  if (Options.lintActive()) {
+    std::fprintf(stderr, "lint summary: %zu of %zu linted entries had "
+                 "findings\n",
+                 LintDirty, Linted);
+    for (const std::string &S : LintSummaries)
+      std::fprintf(stderr, "lint summary:   %s\n", S.c_str());
+    LintJson += "]";
+    if (!Options.LintJsonFile.empty() &&
+        !writeTextFile(Options.LintJsonFile, LintJson + "\n"))
+      return 1;
+  }
   if (Failed) {
     std::fprintf(stderr, "error: %zu of %zu batch entries failed\n",
                  Failed, Attempted);
@@ -634,6 +779,7 @@ int main(int Argc, char **Argv) {
     AlignOptions.Solver.Seed = Options.Seed;
     AlignOptions.ComputeBounds = Options.ComputeBounds;
     AlignOptions.Threads = Options.Threads;
+    AlignOptions.Effort = Options.Effort;
     AlignOptions.OnError = Options.OnError;
     AlignOptions.ProcBudgetMs = Options.TimeBudgetMs;
     Deadline RunDeadline(Options.DeadlineMs);
@@ -732,6 +878,20 @@ int runAlignment(const ToolOptions &Options, AlignmentOptions &AlignOptions,
       }
       ProfOut << printProgramProfile(*Prog, *Counts);
       std::printf("wrote profile to %s\n", Options.EmitProfileFile.c_str());
+    }
+
+    if (Options.lintActive()) {
+      LintResult LR = runLintChecks(
+          *Prog, *Counts, AlignOptions,
+          Options.File.empty() ? std::string("<demo>") : Options.File);
+      if (!Options.LintJsonFile.empty() &&
+          !writeTextFile(Options.LintJsonFile, lintReportJson(LR) + "\n"))
+        return 1;
+      if (Options.Lint == LintMode::Err && LR.failedAt(Severity::Error)) {
+        std::fprintf(stderr, "error: lint found errors; not aligning "
+                     "(use --lint=warn to report without gating)\n");
+        return 1;
+      }
     }
 
     if (UsePipeline) {

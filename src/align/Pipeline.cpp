@@ -153,6 +153,22 @@ void alignFullPath(const Procedure &Proc, const ProcedureProfile &Profile,
                                       Profile, Profile);
   }
 
+  // Profile-guided effort (balign-lint): one pure decision, shared with
+  // the cache fingerprint, picks this procedure's solver options. The
+  // cold fast-path ships the greedy layout without ever building the
+  // DTSP instance; such results are still cached — GreedyOnly is part
+  // of the fingerprint, so they can never be confused with full solves.
+  EffortDecision Effort =
+      decideEffort(Proc, Profile, Options.Solver, Options.Effort);
+  if (Effort.GreedyOnly) {
+    PA.TspLayout = PA.GreedyLayout;
+    PA.TspPenalty = PA.GreedyPenalty;
+    scopeCounterAdd("effort.greedy-only");
+    if (Cache)
+      Cache->store(Proc, Profile, Options, I, PA);
+    return;
+  }
+
   CpuStopwatch MatrixTimer;
   AlignmentTsp Atsp;
   {
@@ -165,7 +181,7 @@ void alignFullPath(const Procedure &Proc, const ProcedureProfile &Profile,
   // Give each procedure a solver stream derived from the root seed so
   // results do not depend on procedure processing order — this is what
   // makes parallel and serial runs bit-identical.
-  IteratedOptOptions SolverOptions = Options.Solver;
+  IteratedOptOptions SolverOptions = Effort.Solver;
   SolverOptions.Seed = derivedSolverSeed(Options.Solver.Seed, I);
   SolverOptions.Budget = Budget;
   DtspSolution Solution;

@@ -27,6 +27,7 @@
 #include "profile/Profile.h"
 #include "robust/Deadline.h"
 #include "robust/FailureReport.h"
+#include "static/EffortPolicy.h"
 #include "tsp/HeldKarp.h"
 #include "tsp/IteratedOpt.h"
 
@@ -160,6 +161,15 @@ struct AlignmentOptions {
   IteratedOptOptions Solver;
   HeldKarpOptions HeldKarp;
   bool ComputeBounds = true;
+
+  /// How solver effort is spread across procedures (balign-lint's
+  /// profile-guided effort): Uniform runs Solver as-is everywhere;
+  /// Scaled adjusts kicks per run by loop nesting and hotness;
+  /// ScaledColdGreedy additionally ships the greedy layout for cold
+  /// procedures without solving. decideEffort (static/EffortPolicy.h)
+  /// is the single decision point, shared with the cache fingerprint —
+  /// results stay bit-identical at any thread count for any policy.
+  EffortPolicy Effort = EffortPolicy::Uniform;
 
   /// Result caching across runs. Off computes everything; Memory and
   /// Disk require a cache::CacheSession (or any ProcedureResultCache)

@@ -120,6 +120,32 @@ const char *balign::checkIdName(CheckId Check) {
     return "trace.seq-gap";
   case CheckId::TraceCounterRegressed:
     return "trace.counter-regressed";
+  case CheckId::LintUnreachableBlock:
+    return "lint.unreachable-block";
+  case CheckId::LintUnreachableHot:
+    return "lint.unreachable-hot";
+  case CheckId::LintCounterOverflow:
+    return "lint.counter-overflow";
+  case CheckId::LintCounterSaturated:
+    return "lint.counter-saturated";
+  case CheckId::LintFlowImbalance:
+    return "lint.flow-imbalance";
+  case CheckId::LintFlowContradictory:
+    return "lint.flow-contradictory";
+  case CheckId::LintFlowRepair:
+    return "lint.flow-repair";
+  case CheckId::LintIrreducibleLoop:
+    return "lint.irreducible-loop";
+  case CheckId::LintDeepNest:
+    return "lint.deep-nest";
+  case CheckId::LintNoLoopExit:
+    return "lint.no-loop-exit";
+  case CheckId::LintSelfLoop:
+    return "lint.self-loop";
+  case CheckId::LintLinearCfg:
+    return "lint.linear-cfg";
+  case CheckId::LintModelSuspicious:
+    return "lint.model-suspicious";
   }
   assert(false && "unknown check id");
   return "?";

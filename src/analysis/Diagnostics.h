@@ -115,6 +115,24 @@ enum class CheckId : uint16_t {
   TraceBadNesting,       ///< trace.bad-nesting
   TraceSeqGap,           ///< trace.seq-gap
   TraceCounterRegressed, ///< trace.counter-regressed
+
+  // lint: balign-lint static CFG/profile analysis (src/static/Lint.h).
+  // Errors are profile lies (the training data cannot have come from a
+  // real run); warnings are structural anomalies the aligner tolerates
+  // but a build system should see; notes are advisory.
+  LintUnreachableBlock,  ///< lint.unreachable-block
+  LintUnreachableHot,    ///< lint.unreachable-hot
+  LintCounterOverflow,   ///< lint.counter-overflow
+  LintCounterSaturated,  ///< lint.counter-saturated
+  LintFlowImbalance,     ///< lint.flow-imbalance
+  LintFlowContradictory, ///< lint.flow-contradictory
+  LintFlowRepair,        ///< lint.flow-repair
+  LintIrreducibleLoop,   ///< lint.irreducible-loop
+  LintDeepNest,          ///< lint.deep-nest
+  LintNoLoopExit,        ///< lint.no-loop-exit
+  LintSelfLoop,          ///< lint.self-loop
+  LintLinearCfg,         ///< lint.linear-cfg
+  LintModelSuspicious,   ///< lint.model-suspicious
 };
 
 /// Returns the stable printable ID, e.g. "cfg.unreachable-block".

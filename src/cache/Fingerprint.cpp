@@ -2,6 +2,8 @@
 
 #include "cache/Fingerprint.h"
 
+#include "static/EffortPolicy.h"
+
 #include <cstdio>
 #include <cstring>
 
@@ -137,7 +139,15 @@ balign::fingerprintProcedureInputs(const Procedure &Proc,
   hashProcedure(H, Proc);
   hashProfile(H, Train);
   hashMachineModel(H, Options.Model);
-  IteratedOptOptions Derived = Options.Solver;
+  // The effort decision is result-affecting: it rewrites the solver
+  // options and may route the procedure to the greedy-only fast path.
+  // Hash the *effective* options (after decideEffort — the same pure
+  // function the pipeline calls) rather than the policy name, so
+  // policies that coincide on a procedure share cache entries.
+  EffortDecision Effort =
+      decideEffort(Proc, Train, Options.Solver, Options.Effort);
+  H.u8(Effort.GreedyOnly ? 1 : 0);
+  IteratedOptOptions Derived = Effort.Solver;
   Derived.Seed = derivedSolverSeed(Options.Solver.Seed, ProcIndex);
   hashSolverOptions(H, Derived);
   H.u8(Options.ComputeBounds ? 1 : 0);

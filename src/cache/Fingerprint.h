@@ -44,7 +44,9 @@ namespace balign {
 
 /// Version of the fingerprint schema *and* the on-disk store format.
 /// Bump on any change to either; old stores then invalidate wholesale.
-inline constexpr uint32_t CacheFormatVersion = 1;
+/// v2: the effort-policy decision (effective solver options plus the
+/// greedy-only routing bit) joined the absorbed inputs.
+inline constexpr uint32_t CacheFormatVersion = 2;
 
 /// A 128-bit content fingerprint.
 struct Fingerprint {

@@ -151,7 +151,7 @@ static bool finishProc(Parser &P, const std::string &ProcName,
   Procedure Proc(ProcName);
   std::map<std::string, BlockId> Ids;
   for (const PendingBlock &PB : Pending) {
-    if (Ids.count(PB.Name)) {
+    if (Ids.contains(PB.Name)) {
       P.LineNo = PB.LineNo;
       return P.fail("duplicate block name '" + PB.Name + "'");
     }

@@ -79,13 +79,19 @@ struct ProfileParser {
 };
 
 bool parseUInt(const std::string &Text, uint64_t &Out) {
-  if (Text.empty() || Text.size() > 19)
+  if (Text.empty() || Text.size() > 20)
     return false;
   Out = 0;
   for (char C : Text) {
     if (C < '0' || C > '9')
       return false;
-    Out = Out * 10 + static_cast<uint64_t>(C - '0');
+    uint64_t Digit = static_cast<uint64_t>(C - '0');
+    // Reject anything past 2^64-1 (profiles with saturated hardware
+    // counters legitimately carry the UINT64_MAX sentinel itself, and
+    // the lint saturation check wants to see it).
+    if (Out > UINT64_MAX / 10 || Out * 10 > UINT64_MAX - Digit)
+      return false;
+    Out = Out * 10 + Digit;
   }
   return true;
 }

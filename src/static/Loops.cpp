@@ -1,0 +1,153 @@
+//===- static/Loops.cpp ---------------------------------------------------===//
+
+#include "static/Loops.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace balign;
+
+bool Loop::contains(BlockId B) const {
+  return std::binary_search(Blocks.begin(), Blocks.end(), B);
+}
+
+unsigned LoopInfo::maxDepth() const {
+  unsigned Max = 0;
+  for (unsigned D : LoopDepth)
+    Max = std::max(Max, D);
+  return Max;
+}
+
+namespace {
+
+/// Classifies every edge of the reachable subgraph with one iterative
+/// DFS: an edge u -> v explored while v is still on the DFS stack is
+/// retreating (it closes a cycle).
+std::vector<std::pair<BlockId, BlockId>>
+retreatingEdges(const Procedure &Proc) {
+  std::vector<std::pair<BlockId, BlockId>> Result;
+  size_t N = Proc.numBlocks();
+  if (N == 0)
+    return Result;
+  enum : uint8_t { White, OnStack, Done };
+  std::vector<uint8_t> Color(N, White);
+  std::vector<std::pair<BlockId, size_t>> Stack;
+  Stack.push_back({Proc.entry(), 0});
+  Color[Proc.entry()] = OnStack;
+  while (!Stack.empty()) {
+    auto &[Block, NextSucc] = Stack.back();
+    const std::vector<BlockId> &Succs = Proc.successors(Block);
+    if (NextSucc < Succs.size()) {
+      BlockId To = Succs[NextSucc++];
+      if (Color[To] == White) {
+        Color[To] = OnStack;
+        Stack.push_back({To, 0});
+      } else if (Color[To] == OnStack) {
+        Result.push_back({Block, To});
+      }
+    } else {
+      Color[Block] = Done;
+      Stack.pop_back();
+    }
+  }
+  // Canonical order regardless of DFS discovery order.
+  std::sort(Result.begin(), Result.end());
+  return Result;
+}
+
+} // namespace
+
+LoopInfo LoopInfo::compute(const Procedure &Proc, const DominatorTree &Dom) {
+  LoopInfo Info;
+  size_t N = Proc.numBlocks();
+  Info.InnermostLoop.assign(N, -1);
+  Info.LoopDepth.assign(N, 0);
+  if (N == 0)
+    return Info;
+
+  std::vector<std::vector<BlockId>> Preds = Proc.computePredecessors();
+
+  // Split the retreating edges: target-dominates-source ones are natural
+  // back edges, the rest certify irreducibility. Using retreating edges
+  // (rather than scanning all edges for the dominance test) keeps a
+  // forward edge into an already-visited block from being misread.
+  std::map<BlockId, Loop> ByHeader; // Header -> loop under construction.
+  for (auto [U, H] : retreatingEdges(Proc)) {
+    if (!Dom.dominates(H, U)) {
+      Info.IrreducibleEdges.push_back({U, H});
+      continue;
+    }
+    Loop &L = ByHeader[H];
+    L.Header = H;
+    L.BackEdges.push_back({U, H});
+  }
+
+  // Natural-loop body: backward closure from every latch, stopping at
+  // the header.
+  for (auto &[Header, L] : ByHeader) {
+    std::vector<uint8_t> InLoop(N, 0);
+    InLoop[Header] = 1;
+    std::vector<BlockId> Worklist;
+    for (auto [Latch, H] : L.BackEdges) {
+      (void)H;
+      if (!InLoop[Latch]) {
+        InLoop[Latch] = 1;
+        Worklist.push_back(Latch);
+      }
+    }
+    while (!Worklist.empty()) {
+      BlockId B = Worklist.back();
+      Worklist.pop_back();
+      for (BlockId P : Preds[B])
+        if (Dom.reachable(P) && !InLoop[P]) {
+          InLoop[P] = 1;
+          Worklist.push_back(P);
+        }
+    }
+    for (BlockId B = 0; B != N; ++B)
+      if (InLoop[B])
+        L.Blocks.push_back(B);
+    for (BlockId B : L.Blocks)
+      for (BlockId To : Proc.successors(B))
+        if (!InLoop[To])
+          L.HasExit = true;
+  }
+
+  // Emit loops ordered by header RPO index: dominator-tree ancestors
+  // come first in RPO, so an outer loop always precedes the loops its
+  // body contains, and parent links below can search backward.
+  Info.Loops.reserve(ByHeader.size());
+  for (auto &[Header, L] : ByHeader) {
+    (void)Header;
+    Info.Loops.push_back(std::move(L));
+  }
+  std::sort(Info.Loops.begin(), Info.Loops.end(),
+            [&Dom](const Loop &A, const Loop &B) {
+              return Dom.rpoIndex(A.Header) < Dom.rpoIndex(B.Header);
+            });
+
+  // Nesting: loop A contains loop B iff A holds B's header (natural
+  // loops with distinct headers either nest or are disjoint). The
+  // innermost container is the latest preceding loop holding the header.
+  for (size_t I = 0; I != Info.Loops.size(); ++I) {
+    Loop &L = Info.Loops[I];
+    for (size_t J = I; J-- != 0;) {
+      if (Info.Loops[J].contains(L.Header)) {
+        L.Parent = static_cast<int>(J);
+        L.Depth = Info.Loops[J].Depth + 1;
+        break;
+      }
+    }
+  }
+
+  // Per-block facts: the innermost loop of B is the deepest loop holding
+  // it; its depth is that loop's depth.
+  for (size_t I = 0; I != Info.Loops.size(); ++I)
+    for (BlockId B : Info.Loops[I].Blocks)
+      if (Info.InnermostLoop[B] < 0 ||
+          Info.Loops[Info.InnermostLoop[B]].Depth <= Info.Loops[I].Depth) {
+        Info.InnermostLoop[B] = static_cast<int>(I);
+        Info.LoopDepth[B] = Info.Loops[I].Depth;
+      }
+  return Info;
+}

@@ -1,0 +1,85 @@
+//===- static/Loops.h - Natural loops, nesting, irreducibility ------------===//
+//
+// Part of the balign project (PLDI 1997 branch-alignment reproduction).
+//
+//===--------------------------------------------------------------------===//
+///
+/// \file
+/// Natural-loop detection over the dominator tree: a back edge is an edge
+/// u -> h whose target dominates its source; its natural loop is h plus
+/// every block that reaches u without passing through h. Loops sharing a
+/// header are merged (one Loop per header, like LLVM's LoopInfo), nesting
+/// is derived from body containment, and per-block nesting depth feeds
+/// the profile-guided effort policy (hot deep loops deserve the full
+/// solver protocol; flat cold code does not).
+///
+/// Irreducibility is detected separately: a DFS retreating edge whose
+/// target does *not* dominate its source closes a cycle with multiple
+/// entry points. The 1997 reduction itself is indifferent, but both the
+/// greedy aligner's loop heuristics and any future hot/cold splitting
+/// assume reducible regions, so lint surfaces them.
+///
+//===--------------------------------------------------------------------===//
+
+#ifndef BALIGN_STATIC_LOOPS_H
+#define BALIGN_STATIC_LOOPS_H
+
+#include "ir/CFG.h"
+#include "static/Dominators.h"
+
+#include <utility>
+#include <vector>
+
+namespace balign {
+
+/// One natural loop (all back edges sharing one header, merged).
+struct Loop {
+  BlockId Header = InvalidBlock;
+
+  /// Member blocks including the header, sorted ascending.
+  std::vector<BlockId> Blocks;
+
+  /// The back edges (latch -> header) defining the loop, in canonical
+  /// edge-enumeration order.
+  std::vector<std::pair<BlockId, BlockId>> BackEdges;
+
+  /// Nesting depth: 1 for outermost loops.
+  unsigned Depth = 1;
+
+  /// Index of the innermost enclosing loop in LoopInfo::Loops, or -1.
+  int Parent = -1;
+
+  /// True when some member block has a successor outside the loop.
+  bool HasExit = false;
+
+  bool contains(BlockId B) const;
+};
+
+/// All loops of one procedure plus per-block nesting facts.
+struct LoopInfo {
+  /// Loops ordered by header RPO index (outer loops before the loops
+  /// they contain); deterministic for a given CFG.
+  std::vector<Loop> Loops;
+
+  /// Per block: index into Loops of the innermost containing loop, -1
+  /// when the block is in no loop.
+  std::vector<int> InnermostLoop;
+
+  /// Per block: number of loops containing it (0 = straight-line code).
+  std::vector<unsigned> LoopDepth;
+
+  /// Retreating DFS edges whose target does not dominate their source:
+  /// each one certifies an irreducible (multi-entry) cycle. Empty for
+  /// the structured CFGs the workload generator emits.
+  std::vector<std::pair<BlockId, BlockId>> IrreducibleEdges;
+
+  /// Computes loops for \p Proc given its dominator tree.
+  static LoopInfo compute(const Procedure &Proc, const DominatorTree &Dom);
+
+  /// Deepest nesting depth over all blocks (0 when loop-free).
+  unsigned maxDepth() const;
+};
+
+} // namespace balign
+
+#endif // BALIGN_STATIC_LOOPS_H

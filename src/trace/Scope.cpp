@@ -41,6 +41,8 @@ const char *balign::spanCatName(SpanCat Cat) {
     return "verify";
   case SpanCat::Io:
     return "io";
+  case SpanCat::Lint:
+    return "lint";
   }
   return "?";
 }

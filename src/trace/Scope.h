@@ -61,6 +61,7 @@ enum class SpanCat : uint8_t {
   Cache,    ///< balign-cache store operations.
   Verify,   ///< balign-verify passes.
   Io,       ///< Input parsing and other file I/O.
+  Lint,     ///< balign-lint static CFG/profile analysis.
 };
 
 /// Returns the stable printable category name, e.g. "stage".

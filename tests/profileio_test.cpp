@@ -168,3 +168,27 @@ TEST(BtbTest, DirectMappedConflicts) {
   Buffer.reset();
   EXPECT_FALSE(Buffer.hit(0x40, 0xBB));
 }
+
+TEST(ProfileIOTest, SaturatedCountsRoundTripAndOverflowIsRejected) {
+  Program Prog = makeProgram();
+  ProgramProfile Profile = makeProfile(Prog);
+  // The UINT64_MAX saturation sentinel must survive a print/parse
+  // round-trip: the lint counter-saturated check keys on it.
+  Profile.Procs[0].BlockCounts[0] = UINT64_MAX;
+  std::string Text = printProgramProfile(Prog, Profile);
+  std::string Error;
+  auto Parsed = parseProgramProfile(Prog, Text, &Error);
+  ASSERT_TRUE(Parsed.has_value()) << Error;
+  EXPECT_EQ(Parsed->Procs[0].BlockCounts[0], UINT64_MAX);
+
+  // One past 2^64-1 (and anything wider) is an overflow, not a wrap.
+  auto Bad = parseProgramProfile(
+      Prog, "profile demo\nproc alpha {\n  head: 18446744073709551616\n}\n",
+      &Error);
+  EXPECT_FALSE(Bad.has_value());
+  EXPECT_NE(Error.find("bad block count"), std::string::npos);
+  auto Wide = parseProgramProfile(
+      Prog, "profile demo\nproc alpha {\n  head: 111111111111111111111\n}\n",
+      &Error);
+  EXPECT_FALSE(Wide.has_value());
+}
