@@ -1,0 +1,208 @@
+//===- bench/serve_throughput.cpp - balign-serve request throughput --------===//
+//
+// Part of the balign project (PLDI 1997 branch-alignment reproduction).
+//
+// Measures the serve path end to end, in process, over socketpairs: a
+// corpus of generated programs is pushed through a live AlignServer by
+// several concurrent clients, once against a cold shared cache (every
+// procedure solved) and again warm (every procedure served from the
+// cross-client cache). Prints a small table, checks warm responses stay
+// byte-identical to cold ones, and emits BENCH_serve.json with the
+// cold/warm requests-per-second trajectory.
+//
+//===--------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "cache/Store.h"
+#include "ir/TextFormat.h"
+#include "serve/Client.h"
+#include "support/Format.h"
+#include "support/Random.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+#include "workloads/Generator.h"
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace balign;
+
+namespace {
+
+constexpr uint64_t ProfileBudget = 3000;
+constexpr size_t NumClients = 4;
+constexpr size_t WarmPasses = 3;
+
+struct CorpusItem {
+  std::string CfgText;
+  uint64_t Seed = 0;
+};
+
+std::vector<CorpusItem> buildCorpus() {
+  std::vector<CorpusItem> Corpus;
+  for (uint64_t I = 0; I != 12; ++I) {
+    Program Prog("serve" + std::to_string(I));
+    Rng R(9000 + I * 31);
+    GenParams Params;
+    Params.TargetBranchSites = 8 + static_cast<unsigned>(I % 5);
+    size_t NumProcs = 2 + I % 3;
+    for (size_t P = 0; P != NumProcs; ++P)
+      Prog.addProcedure(
+          generateProcedure("p" + std::to_string(P), Params, R).Proc);
+    Corpus.push_back({printProgram(Prog), 100 + I});
+  }
+  return Corpus;
+}
+
+AlignRequest requestFor(const CorpusItem &Item) {
+  AlignRequest Req;
+  Req.Seed = Item.Seed;
+  Req.Budget = ProfileBudget;
+  Req.CfgText = Item.CfgText;
+  return Req;
+}
+
+/// One client connection bound to a server-side connection thread.
+struct Connection {
+  int Fds[2] = {-1, -1};
+  std::thread Server;
+  ServeClient Client;
+  bool Ok = false;
+
+  Connection(AlignServer &S) {
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds) != 0)
+      return;
+    Ok = true;
+    Server = std::thread([&S, Fd = Fds[1]] { S.serveConnection(Fd, Fd); });
+    Client.wrap(Fds[0], Fds[0]);
+  }
+  ~Connection() {
+    if (!Ok)
+      return;
+    Client.close();
+    ::close(Fds[0]);
+    Server.join();
+    ::close(Fds[1]);
+  }
+};
+
+/// Pushes the whole corpus through the server once from each of
+/// NumClients concurrent connections; returns wall seconds, collecting
+/// every response body (indexed client-major) into \p Responses.
+double runPass(AlignServer &Server, const std::vector<CorpusItem> &Corpus,
+               std::vector<std::string> &Responses, bool &AllOk) {
+  Responses.assign(NumClients * Corpus.size(), {});
+  std::vector<char> ClientOk(NumClients, 1);
+  std::vector<std::unique_ptr<Connection>> Conns;
+  for (size_t C = 0; C != NumClients; ++C)
+    Conns.push_back(std::make_unique<Connection>(Server));
+
+  Stopwatch Wall;
+  std::vector<std::thread> Clients;
+  for (size_t C = 0; C != NumClients; ++C) {
+    Clients.emplace_back([&, C] {
+      for (size_t I = 0; I != Corpus.size(); ++I) {
+        const CorpusItem &Item = Corpus[(I + C) % Corpus.size()];
+        std::string Report, Error;
+        if (!Conns[C]->Client.align(requestFor(Item), Report, &Error)) {
+          std::fprintf(stderr, "error: client %zu: %s\n", C,
+                       Error.c_str());
+          ClientOk[C] = 0;
+          return;
+        }
+        Responses[C * Corpus.size() + (I + C) % Corpus.size()] =
+            std::move(Report);
+      }
+    });
+  }
+  for (std::thread &T : Clients)
+    T.join();
+  double Seconds = Wall.seconds();
+  for (char Ok : ClientOk)
+    AllOk = AllOk && Ok;
+  return Seconds;
+}
+
+} // namespace
+
+int main() {
+  ::signal(SIGPIPE, SIG_IGN);
+  std::printf("=== balign-serve throughput (cold vs warm cache) ===\n");
+  std::vector<CorpusItem> Corpus = buildCorpus();
+  size_t RequestsPerPass = NumClients * Corpus.size();
+
+  AlignmentOptions Base;
+  Base.Cache = CacheMode::Memory;
+  AlignmentCache Cache;
+  Base.CacheImpl = &Cache;
+  ServeConfig Config; // Threads = 0: one worker per hardware thread.
+  Config.CacheStatsFn = [&Cache] { return Cache.stats(); };
+  AlignServer Server(Base, Config);
+
+  bool AllOk = true;
+  std::vector<std::string> ColdResponses;
+  double ColdSeconds = runPass(Server, Corpus, ColdResponses, AllOk);
+
+  double WarmSeconds = 0;
+  bool WarmIdentical = true;
+  for (size_t Pass = 0; Pass != WarmPasses && AllOk; ++Pass) {
+    std::vector<std::string> WarmResponses;
+    WarmSeconds += runPass(Server, Corpus, WarmResponses, AllOk);
+    WarmIdentical = WarmIdentical && WarmResponses == ColdResponses;
+  }
+  WarmSeconds /= static_cast<double>(WarmPasses);
+  if (!AllOk) {
+    std::fprintf(stderr, "error: a client failed; aborting\n");
+    return 1;
+  }
+
+  double ColdRps = static_cast<double>(RequestsPerPass) / ColdSeconds;
+  double WarmRps = static_cast<double>(RequestsPerPass) / WarmSeconds;
+  CacheStats Stats = Cache.stats();
+
+  TextTable T;
+  T.addColumn("quantity");
+  T.addColumn("value", TextTable::AlignKind::Right);
+  T.addRow({"corpus programs", std::to_string(Corpus.size())});
+  T.addRow({"client connections", std::to_string(NumClients)});
+  T.addRow({"requests per pass", std::to_string(RequestsPerPass)});
+  T.addRow({"cold requests/sec", formatFixed(ColdRps, 1)});
+  T.addRow({"warm requests/sec", formatFixed(WarmRps, 1)});
+  T.addRow({"warm speedup", formatFixed(WarmRps / ColdRps, 2) + "x"});
+  T.addRow({"cache hits", std::to_string(Stats.Hits)});
+  T.addRow({"cache misses", std::to_string(Stats.Misses)});
+  T.addRow({"warm == cold bytes", WarmIdentical ? "yes" : "NO"});
+  std::printf("%s", T.render().c_str());
+
+  std::ofstream Json("BENCH_serve.json");
+  Json << "{\n"
+       << "  \"corpus_programs\": " << Corpus.size() << ",\n"
+       << "  \"client_connections\": " << NumClients << ",\n"
+       << "  \"requests_per_pass\": " << RequestsPerPass << ",\n"
+       << "  \"cold_seconds\": " << ColdSeconds << ",\n"
+       << "  \"warm_seconds\": " << WarmSeconds << ",\n"
+       << "  \"cold_requests_per_sec\": " << ColdRps << ",\n"
+       << "  \"warm_requests_per_sec\": " << WarmRps << ",\n"
+       << "  \"warm_speedup\": " << WarmRps / ColdRps << ",\n"
+       << "  \"cache_hits\": " << Stats.Hits << ",\n"
+       << "  \"cache_misses\": " << Stats.Misses << ",\n"
+       << "  \"warm_matches_cold\": " << (WarmIdentical ? "true" : "false")
+       << "\n"
+       << "}\n";
+  std::printf("(wrote BENCH_serve.json)\n");
+
+  if (!WarmIdentical) {
+    std::fprintf(stderr,
+                 "error: warm responses diverged from cold responses\n");
+    return 1;
+  }
+  return 0;
+}

@@ -16,6 +16,7 @@
 //              [--trace FILE] [--metrics] [--metrics-json FILE]
 //              [--lint[=warn|err]] [--lint-json FILE]
 //              [--effort-policy uniform|scaled|scaled-cold-greedy]
+//              [--serve SOCK|-] [--serve-queue N]
 //
 // With no file argument a built-in demo program is used, so the tool is
 // runnable out of the box.
@@ -62,6 +63,8 @@
 #include "profile/ProfileIO.h"
 #include "profile/Trace.h"
 #include "robust/FaultInjector.h"
+#include "serve/Oneshot.h"
+#include "serve/Server.h"
 #include "static/EffortPolicy.h"
 #include "static/Lint.h"
 #include "support/Flags.h"
@@ -142,6 +145,10 @@ struct ToolOptions {
   LintMode Lint = LintMode::Off;
   std::string LintJsonFile; ///< --lint-json: JSON report (implies lint).
   EffortPolicy Effort = EffortPolicy::Uniform; ///< --effort-policy.
+
+  // balign-serve flags.
+  std::string ServePath;    ///< --serve: socket path, or "-" for stdio.
+  uint64_t ServeQueue = 0;  ///< --serve-queue: align budget (0 = inf).
 
   /// True when any shield flag was given; forces the pipeline path and
   /// enables the stderr shield report.
@@ -288,6 +295,21 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Options) {
                      "uniform, scaled, or scaled-cold-greedy)\n", V);
         return false;
       }
+    } else if (Arg == "--serve") {
+      const char *V = needValue("--serve");
+      if (!V)
+        return false;
+      Options.ServePath = V;
+    } else if (Arg.rfind("--serve=", 0) == 0) {
+      Options.ServePath = Arg.substr(std::strlen("--serve="));
+      if (Options.ServePath.empty()) {
+        std::fprintf(stderr, "error: --serve= wants a socket path "
+                     "(or - for stdio)\n");
+        return false;
+      }
+    } else if (Arg == "--serve-queue") {
+      if (!needInt("--serve-queue", Options.ServeQueue))
+        return false;
     } else if (Arg == "--dot") {
       Options.EmitDot = true;
     } else if (Arg == "--bounds") {
@@ -366,6 +388,19 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Options) {
                   "hotness), or\n"
                   "                scaled-cold-greedy (cold procedures "
                   "skip the solver)\n"
+                  "  --serve PATH  run as a persistent alignment server "
+                  "on unix socket PATH\n"
+                  "                (or - for stdin/stdout): clients send "
+                  "length-prefixed align\n"
+                  "                requests (see balign_client) through "
+                  "one shared cache\n"
+                  "                session; --threads sizes the request "
+                  "pool and --deadline\n"
+                  "                sets the default per-request deadline\n"
+                  "  --serve-queue N  answer align requests beyond N "
+                  "in flight with a\n"
+                  "                structured rejection instead of "
+                  "queueing (0 = no limit)\n"
                   "exit codes: 0 success, 1 usage/input/verify/lint "
                   "error, 2 aborted under\n"
                   "--on-error=abort, 3 batch finished with failed "
@@ -379,29 +414,6 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Options) {
     }
   }
   return true;
-}
-
-/// A seeded, skewed behavior: real branches are biased, not coin flips.
-BranchBehavior skewedBehavior(const Procedure &Proc, Rng &R) {
-  BranchBehavior Behavior = BranchBehavior::uniform(Proc);
-  for (BlockId B = 0; B != Proc.numBlocks(); ++B) {
-    std::vector<double> &Probs = Behavior.Probs[B];
-    if (Probs.size() == 2) {
-      double Bias = 0.70 + 0.28 * R.nextDouble();
-      size_t Hot = R.nextIndex(2);
-      Probs[Hot] = Bias;
-      Probs[1 - Hot] = 1.0 - Bias;
-    } else if (Probs.size() > 2) {
-      double Sum = 0.0;
-      for (double &P : Probs) {
-        P = 0.05 + R.nextDouble() * R.nextDouble() * 3.0;
-        Sum += P;
-      }
-      for (double &P : Probs)
-        P /= Sum;
-    }
-  }
-  return Behavior;
 }
 
 std::unique_ptr<Aligner> makeAligner(const std::string &Name) {
@@ -461,18 +473,9 @@ std::optional<ProgramProfile> obtainProfile(const Program &Prog,
                    Error.c_str());
     return Parsed;
   }
-  ProgramProfile Counts;
-  for (size_t P = 0; P != Prog.numProcedures(); ++P) {
-    const Procedure &Proc = Prog.proc(P);
-    Rng BehaviorRng(Options.Seed * 7919 + P);
-    BranchBehavior Behavior = skewedBehavior(Proc, BehaviorRng);
-    Rng TraceRng(Options.Seed * 1000003 + P);
-    TraceGenOptions TraceOptions;
-    TraceOptions.BranchBudget = Options.Budget;
-    Counts.Procs.push_back(collectProfile(
-        Proc, generateTrace(Proc, Behavior, TraceRng, TraceOptions)));
-  }
-  return Counts;
+  // The seeded synthetic run is shared with balign-serve (the server
+  // must reproduce it bit-for-bit), so it lives in serve/Oneshot.h.
+  return synthesizeProfile(Prog, Options.Seed, Options.Budget);
 }
 
 /// The pipeline-based report used in cache and batch modes: all three
@@ -482,48 +485,11 @@ void reportPipelineAlignment(const Program &Prog,
                              const ProgramProfile &Counts,
                              const ProgramAlignment &Result,
                              const ToolOptions &Options) {
-  TextTable Report;
-  Report.addColumn("procedure");
-  Report.addColumn("blocks", TextTable::AlignKind::Right);
-  Report.addColumn("branches", TextTable::AlignKind::Right);
-  Report.addColumn("original", TextTable::AlignKind::Right);
-  Report.addColumn("greedy", TextTable::AlignKind::Right);
-  Report.addColumn("tsp", TextTable::AlignKind::Right);
-  Report.addColumn("removed", TextTable::AlignKind::Right);
-  if (Options.ComputeBounds)
-    Report.addColumn("hk-bound", TextTable::AlignKind::Right);
-
-  for (size_t P = 0; P != Prog.numProcedures(); ++P) {
-    const Procedure &Proc = Prog.proc(P);
-    const ProcedureProfile &Profile = Counts.Procs[P];
-    const ProcedureAlignment &PA = Result.Procs[P];
-    std::vector<std::string> Row = {
-        Proc.getName(),
-        std::to_string(Proc.numBlocks()),
-        formatCount(Profile.executedBranches(Proc)),
-        std::to_string(PA.OriginalPenalty),
-        std::to_string(PA.GreedyPenalty),
-        std::to_string(PA.TspPenalty),
-        PA.OriginalPenalty > 0
-            ? formatPercent(1.0 - static_cast<double>(PA.TspPenalty) /
-                                      static_cast<double>(PA.OriginalPenalty))
-            : "0%"};
-    if (Options.ComputeBounds)
-      Row.push_back(formatFixed(PA.Bounds.HeldKarp, 1));
-    Report.addRow(std::move(Row));
-
-    std::printf("proc %s layout:", Proc.getName().c_str());
-    for (BlockId Id : PA.TspLayout.Order) {
-      const BasicBlock &Block = Proc.block(Id);
-      std::printf(" %s", Block.Name.empty()
-                             ? ("b" + std::to_string(Id)).c_str()
-                             : Block.Name.c_str());
-    }
-    std::printf("\n");
-    if (Options.EmitDot)
-      std::printf("%s", printDot(Proc, &Profile.EdgeCounts).c_str());
-  }
-  std::printf("\n%s", Report.render().c_str());
+  // Shared with balign-serve: an AlignOk response body must be
+  // byte-identical to this stdout, so both render through one function.
+  std::string Report = renderAlignmentReport(
+      Prog, Counts, Result, Options.ComputeBounds, Options.EmitDot);
+  std::fwrite(Report.data(), 1, Report.size(), stdout);
 }
 
 /// Runs --verify over one program; returns false when errors were found.
@@ -773,6 +739,11 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr,
                    "warning: --checkpoint is only meaningful with --batch; "
                    "ignored\n");
+    if (!Options.ServePath.empty() && !Options.BatchFile.empty()) {
+      std::fprintf(stderr, "error: --serve and --batch are mutually "
+                   "exclusive\n");
+      return 1;
+    }
 
     AlignmentOptions AlignOptions;
     AlignOptions.Model = MachineModel::alpha21164();
@@ -788,15 +759,43 @@ int main(int Argc, char **Argv) {
     if (!Options.CacheDir.empty()) {
       AlignOptions.Cache = CacheMode::Disk;
       AlignOptions.CachePath = Options.CacheDir;
-    } else if (!Options.BatchFile.empty()) {
+    } else if (!Options.BatchFile.empty() || !Options.ServePath.empty()) {
       // Batch without a directory still shares an in-process cache, so
-      // duplicate procedures across the list are solved once.
+      // duplicate procedures across the list are solved once; a server
+      // likewise shares one cache across every client it ever talks to.
       AlignOptions.Cache = CacheMode::Memory;
     }
-    CacheSession Cache(AlignOptions);
+    AlignmentCacheConfig CacheConfig;
+    if (!Options.ServePath.empty()) {
+      // A long-lived server may never reach the session's destructor
+      // flush (kill -9, OOM); losing at most 32 stores bounds the
+      // damage without paying a disk write per request.
+      CacheConfig.FlushEveryStores = 32;
+    }
+    CacheSession Cache(AlignOptions, CacheConfig);
 
     try {
-      Exit = runAlignment(Options, AlignOptions, UsePipeline);
+      if (!Options.ServePath.empty()) {
+        // balign-serve: a long-lived server over the shared cache
+        // session. --threads sizes the request pool, --serve-queue
+        // bounds in-flight aligns, --deadline becomes the default
+        // per-request deadline. Requests carry their own seed/budget/
+        // effort/bounds/on-error, so most CLI knobs do not apply here.
+        if (!Options.File.empty())
+          std::fprintf(stderr, "warning: positional input '%s' is "
+                       "ignored in --serve mode\n", Options.File.c_str());
+        ServeConfig Serve;
+        Serve.Threads = Options.Threads;
+        Serve.QueueBudget = Options.ServeQueue;
+        Serve.DefaultDeadlineMs = Options.DeadlineMs;
+        Serve.CacheStatsFn = [&Cache] { return Cache.stats(); };
+        AlignServer Server(AlignOptions, Serve);
+        Exit = Options.ServePath == "-"
+                   ? Server.serveStdio()
+                   : Server.serveUnixSocket(Options.ServePath);
+      } else {
+        Exit = runAlignment(Options, AlignOptions, UsePipeline);
+      }
     } catch (const AlignmentAborted &E) {
       // Exit 2 contract: a procedure failure under OnErrorPolicy::Abort
       // (the default policy) aborts alignment.

@@ -1,0 +1,235 @@
+//===- examples/balign_client.cpp - balign-serve client --------------------===//
+//
+// Part of the balign project (PLDI 1997 branch-alignment reproduction).
+//
+// Talks to an `align_tool --serve SOCK` server: sends align requests
+// over the length-prefixed wire protocol and prints the report bytes —
+// byte-identical to running align_tool one-shot on the same inputs —
+// to stdout. Also exposes the service frames (ping, metrics, shutdown)
+// so a shell script can health-check, scrape, and stop a server.
+//
+// Usage:
+//   balign_client SOCK [file.cfg] [--profile FILE] [--seed N]
+//                 [--budget N] [--bounds] [--deadline MS]
+//                 [--on-error abort|fallback|skip]
+//                 [--effort-policy uniform|scaled|scaled-cold-greedy]
+//                 [--ping] [--metrics] [--shutdown]
+//
+// Request order on one connection: ping first (when asked), then the
+// align for file.cfg (when given), then metrics, then shutdown. Exit
+// codes: 0 success, 1 usage/connect/transport error, 2 the server
+// answered an align with a structured error frame.
+//
+//===--------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+#include "static/EffortPolicy.h"
+#include "support/Flags.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace balign;
+
+namespace {
+
+struct ClientOptions {
+  std::string Socket;
+  std::string File;
+  std::string ProfileFile;
+  AlignRequest Request;
+  bool Ping = false;
+  bool Metrics = false;
+  bool Shutdown = false;
+};
+
+bool parseArgs(int Argc, char **Argv, ClientOptions &Options) {
+  for (int I = 1; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto needValue = [&](const char *Flag) -> const char * {
+      return flagValue(Flag, Argc, Argv, I);
+    };
+    auto needInt = [&](const char *Flag, uint64_t &Out,
+                       uint64_t Max = UINT64_MAX) -> bool {
+      return flagUInt(Flag, Argc, Argv, I, Out, Max);
+    };
+    if (Arg == "--seed") {
+      if (!needInt("--seed", Options.Request.Seed))
+        return false;
+    } else if (Arg == "--budget") {
+      if (!needInt("--budget", Options.Request.Budget))
+        return false;
+    } else if (Arg == "--deadline") {
+      uint64_t Ms = 0;
+      if (!needInt("--deadline", Ms, UINT32_MAX))
+        return false;
+      Options.Request.DeadlineMs = static_cast<uint32_t>(Ms);
+    } else if (Arg == "--profile") {
+      const char *V = needValue("--profile");
+      if (!V)
+        return false;
+      Options.ProfileFile = V;
+    } else if (Arg == "--on-error") {
+      const char *V = needValue("--on-error");
+      if (!V)
+        return false;
+      if (std::strcmp(V, "abort") == 0)
+        Options.Request.OnError = OnErrorPolicy::Abort;
+      else if (std::strcmp(V, "fallback") == 0)
+        Options.Request.OnError = OnErrorPolicy::Fallback;
+      else if (std::strcmp(V, "skip") == 0)
+        Options.Request.OnError = OnErrorPolicy::Skip;
+      else {
+        std::fprintf(stderr, "error: unknown --on-error policy '%s' "
+                     "(want abort, fallback, or skip)\n", V);
+        return false;
+      }
+    } else if (Arg == "--effort-policy") {
+      const char *V = needValue("--effort-policy");
+      if (!V)
+        return false;
+      if (!parseEffortPolicy(V, Options.Request.Effort)) {
+        std::fprintf(stderr, "error: unknown --effort-policy '%s' (want "
+                     "uniform, scaled, or scaled-cold-greedy)\n", V);
+        return false;
+      }
+    } else if (Arg == "--bounds") {
+      Options.Request.ComputeBounds = true;
+    } else if (Arg == "--ping") {
+      Options.Ping = true;
+    } else if (Arg == "--metrics") {
+      Options.Metrics = true;
+    } else if (Arg == "--shutdown") {
+      Options.Shutdown = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      std::printf("usage: balign_client SOCK [file.cfg] [--profile FILE] "
+                  "[--seed N] [--budget N]\n"
+                  "                     [--bounds] [--deadline MS] "
+                  "[--on-error abort|fallback|skip]\n"
+                  "                     [--effort-policy P] [--ping] "
+                  "[--metrics] [--shutdown]\n"
+                  "Sends requests to an `align_tool --serve SOCK` server; "
+                  "align reports go to\n"
+                  "stdout byte-identical to one-shot align_tool. Exit: 0 "
+                  "ok, 1 usage/transport\n"
+                  "error, 2 the server answered align with an error "
+                  "frame.\n");
+      return false;
+    } else if (!Arg.empty() && Arg[0] != '-') {
+      if (Options.Socket.empty())
+        Options.Socket = Arg;
+      else if (Options.File.empty())
+        Options.File = Arg;
+      else {
+        std::fprintf(stderr, "error: unexpected argument '%s'\n",
+                     Arg.c_str());
+        return false;
+      }
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", Arg.c_str());
+      return false;
+    }
+  }
+  if (Options.Socket.empty()) {
+    std::fprintf(stderr, "error: no server socket given (see --help)\n");
+    return false;
+  }
+  if (Options.File.empty() && !Options.Ping && !Options.Metrics &&
+      !Options.Shutdown) {
+    std::fprintf(stderr, "error: nothing to do: give a file.cfg, --ping, "
+                 "--metrics, or --shutdown\n");
+    return false;
+  }
+  return true;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
+    return false;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  Out = Buffer.str();
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ClientOptions Options;
+  if (!parseArgs(Argc, Argv, Options))
+    return 1;
+
+  ServeClient Client;
+  std::string Error;
+  if (!Client.connectUnix(Options.Socket, &Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  if (Options.Ping) {
+    Frame Response;
+    if (!Client.call(makeFrame(FrameType::Ping, "balign"), Response,
+                     &Error) ||
+        Response.Type != FrameType::Pong || Response.Body != "balign") {
+      std::fprintf(stderr, "error: ping failed: %s\n", Error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "pong\n");
+  }
+
+  if (!Options.File.empty()) {
+    if (!readFile(Options.File, Options.Request.CfgText))
+      return 1;
+    if (!Options.ProfileFile.empty()) {
+      if (!readFile(Options.ProfileFile, Options.Request.ProfileText))
+        return 1;
+      Options.Request.HasProfile = true;
+    }
+    Frame Response;
+    if (!Client.call(makeFrame(FrameType::Align,
+                               encodeAlignRequest(Options.Request)),
+                     Response, &Error)) {
+      std::fprintf(stderr, "error: align failed: %s\n", Error.c_str());
+      return 1;
+    }
+    if (Response.Type != FrameType::AlignOk) {
+      FrameError Code = FrameError::None;
+      std::string Message;
+      if (decodeErrorFrame(Response, Code, Message))
+        std::fprintf(stderr, "error: server: %s: %s\n",
+                     frameErrorName(Code), Message.c_str());
+      else
+        std::fprintf(stderr, "error: unexpected response frame '%s'\n",
+                     frameTypeName(Response.Type));
+      return 2;
+    }
+    std::fwrite(Response.Body.data(), 1, Response.Body.size(), stdout);
+  }
+
+  if (Options.Metrics) {
+    Frame Response;
+    if (!Client.call(makeFrame(FrameType::Metrics), Response, &Error) ||
+        Response.Type != FrameType::MetricsOk) {
+      std::fprintf(stderr, "error: metrics failed: %s\n", Error.c_str());
+      return 1;
+    }
+    std::fwrite(Response.Body.data(), 1, Response.Body.size(), stdout);
+  }
+
+  if (Options.Shutdown) {
+    Frame Response;
+    if (!Client.call(makeFrame(FrameType::Shutdown), Response, &Error) ||
+        Response.Type != FrameType::ShutdownOk) {
+      std::fprintf(stderr, "error: shutdown failed: %s\n", Error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "server shutting down\n");
+  }
+  return 0;
+}

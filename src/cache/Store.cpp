@@ -423,11 +423,24 @@ void AlignmentCache::store(const Procedure &Proc,
   Fingerprint Key = fingerprintProcedureInputs(Proc, Train, Options,
                                                ProcIndex);
   std::vector<uint8_t> Payload = encodeAlignment(Result);
-  std::lock_guard<std::mutex> Lock(Mutex);
-  insertLocked(Key, std::move(Payload));
-  ++Stats.Stores;
-  Stats.StoreSeconds += Timer.seconds();
+  // FlushEveryStores must trigger the flush *outside* the lock (flush
+  // retakes it); the flag decided under the lock keeps the counter
+  // race-free across concurrent pipeline workers.
+  bool NeedFlush = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    insertLocked(Key, std::move(Payload));
+    ++Stats.Stores;
+    Stats.StoreSeconds += Timer.seconds();
+    if (Config.FlushEveryStores != 0 && !Dir.empty() && !DiskDisabled &&
+        ++StoresSinceFlush >= Config.FlushEveryStores) {
+      StoresSinceFlush = 0;
+      NeedFlush = true;
+    }
+  }
   scopeCounterAdd("cache.stores");
+  if (NeedFlush)
+    flush(); // Best effort: a failure counts and downgrades as usual.
 }
 
 bool AlignmentCache::flush(std::string *Error) {

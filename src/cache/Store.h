@@ -87,6 +87,12 @@ struct AlignmentCacheConfig {
   /// off.
   bool ValidateHits = true;
 
+  /// Disk mode: flush automatically after every N stores (0 = only on
+  /// explicit flush / session teardown). Long-lived owners — the
+  /// balign-serve server, whose CacheSession may never destruct if the
+  /// process is killed — set this so a crash loses at most N results.
+  size_t FlushEveryStores = 0;
+
   /// balign-shield: disk reads and writes retry transient failures with
   /// bounded exponential backoff before giving up.
   RetryPolicy DiskRetry;
@@ -159,6 +165,7 @@ private:
   mutable std::mutex Mutex;
   std::string Dir; ///< Empty for memory-only mode.
   bool DiskDisabled = false; ///< Set after a persistent flush failure.
+  size_t StoresSinceFlush = 0; ///< Drives FlushEveryStores.
   AlignmentCacheConfig Config;
   CacheStats Stats;
 

@@ -55,6 +55,8 @@ const char *balign::faultSiteName(FaultSite Site) {
     return "cache.load";
   case FaultSite::CacheFlush:
     return "cache.flush";
+  case FaultSite::ServeFrame:
+    return "serve.frame";
   }
   return "?";
 }

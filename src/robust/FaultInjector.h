@@ -65,9 +65,10 @@ enum class FaultSite : uint8_t {
   PoolTask,     ///< pool.task — per-procedure pipeline task execution.
   CacheLoad,    ///< cache.load — cache store disk reads.
   CacheFlush,   ///< cache.flush — cache store disk writes.
+  ServeFrame,   ///< serve.frame — balign-serve request dispatch.
 };
 
-inline constexpr size_t NumFaultSites = 7;
+inline constexpr size_t NumFaultSites = 8;
 
 /// Returns the stable printable name, e.g. "tsp.solve".
 const char *faultSiteName(FaultSite Site);

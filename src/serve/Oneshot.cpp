@@ -1,0 +1,106 @@
+//===- serve/Oneshot.cpp - Shared one-shot report/profile building --------===//
+
+#include "serve/Oneshot.h"
+
+#include "ir/Dot.h"
+#include "profile/Trace.h"
+#include "support/Format.h"
+#include "support/Random.h"
+#include "support/Table.h"
+
+using namespace balign;
+
+namespace {
+
+/// A seeded, skewed behavior: real branches are biased, not coin flips.
+/// Moved verbatim from align_tool — the constants are part of the seeded
+/// synthetic-profile contract.
+BranchBehavior skewedBehavior(const Procedure &Proc, Rng &R) {
+  BranchBehavior Behavior = BranchBehavior::uniform(Proc);
+  for (BlockId B = 0; B != Proc.numBlocks(); ++B) {
+    std::vector<double> &Probs = Behavior.Probs[B];
+    if (Probs.size() == 2) {
+      double Bias = 0.70 + 0.28 * R.nextDouble();
+      size_t Hot = R.nextIndex(2);
+      Probs[Hot] = Bias;
+      Probs[1 - Hot] = 1.0 - Bias;
+    } else if (Probs.size() > 2) {
+      double Sum = 0.0;
+      for (double &P : Probs) {
+        P = 0.05 + R.nextDouble() * R.nextDouble() * 3.0;
+        Sum += P;
+      }
+      for (double &P : Probs)
+        P /= Sum;
+    }
+  }
+  return Behavior;
+}
+
+} // namespace
+
+ProgramProfile balign::synthesizeProfile(const Program &Prog, uint64_t Seed,
+                                         uint64_t Budget) {
+  ProgramProfile Counts;
+  for (size_t P = 0; P != Prog.numProcedures(); ++P) {
+    const Procedure &Proc = Prog.proc(P);
+    Rng BehaviorRng(Seed * 7919 + P);
+    BranchBehavior Behavior = skewedBehavior(Proc, BehaviorRng);
+    Rng TraceRng(Seed * 1000003 + P);
+    TraceGenOptions TraceOptions;
+    TraceOptions.BranchBudget = Budget;
+    Counts.Procs.push_back(collectProfile(
+        Proc, generateTrace(Proc, Behavior, TraceRng, TraceOptions)));
+  }
+  return Counts;
+}
+
+std::string balign::renderAlignmentReport(const Program &Prog,
+                                          const ProgramProfile &Counts,
+                                          const ProgramAlignment &Result,
+                                          bool ComputeBounds, bool EmitDot) {
+  TextTable Report;
+  Report.addColumn("procedure");
+  Report.addColumn("blocks", TextTable::AlignKind::Right);
+  Report.addColumn("branches", TextTable::AlignKind::Right);
+  Report.addColumn("original", TextTable::AlignKind::Right);
+  Report.addColumn("greedy", TextTable::AlignKind::Right);
+  Report.addColumn("tsp", TextTable::AlignKind::Right);
+  Report.addColumn("removed", TextTable::AlignKind::Right);
+  if (ComputeBounds)
+    Report.addColumn("hk-bound", TextTable::AlignKind::Right);
+
+  std::string Out;
+  for (size_t P = 0; P != Prog.numProcedures(); ++P) {
+    const Procedure &Proc = Prog.proc(P);
+    const ProcedureProfile &Profile = Counts.Procs[P];
+    const ProcedureAlignment &PA = Result.Procs[P];
+    std::vector<std::string> Row = {
+        Proc.getName(),
+        std::to_string(Proc.numBlocks()),
+        formatCount(Profile.executedBranches(Proc)),
+        std::to_string(PA.OriginalPenalty),
+        std::to_string(PA.GreedyPenalty),
+        std::to_string(PA.TspPenalty),
+        PA.OriginalPenalty > 0
+            ? formatPercent(1.0 - static_cast<double>(PA.TspPenalty) /
+                                      static_cast<double>(PA.OriginalPenalty))
+            : "0%"};
+    if (ComputeBounds)
+      Row.push_back(formatFixed(PA.Bounds.HeldKarp, 1));
+    Report.addRow(std::move(Row));
+
+    Out += "proc " + Proc.getName() + " layout:";
+    for (BlockId Id : PA.TspLayout.Order) {
+      const BasicBlock &Block = Proc.block(Id);
+      Out += " ";
+      Out += Block.Name.empty() ? ("b" + std::to_string(Id)) : Block.Name;
+    }
+    Out += "\n";
+    if (EmitDot)
+      Out += printDot(Proc, &Profile.EdgeCounts);
+  }
+  Out += "\n";
+  Out += Report.render();
+  return Out;
+}

@@ -1,0 +1,328 @@
+//===- serve/Protocol.cpp - balign-serve wire protocol --------------------===//
+
+#include "serve/Protocol.h"
+
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+using namespace balign;
+
+namespace {
+
+void putU32(std::string &Out, uint32_t Value) {
+  for (int Shift = 0; Shift != 32; Shift += 8)
+    Out.push_back(static_cast<char>((Value >> Shift) & 0xff));
+}
+
+void putU64(std::string &Out, uint64_t Value) {
+  for (int Shift = 0; Shift != 64; Shift += 8)
+    Out.push_back(static_cast<char>((Value >> Shift) & 0xff));
+}
+
+/// Bounds-checked little-endian reads over a body string. Every getter
+/// fails (returns false) instead of over-reading, which is what keeps
+/// arbitrary fuzz bytes crash-free.
+class BodyReader {
+public:
+  explicit BodyReader(const std::string &Body) : Body(Body) {}
+
+  bool u8(uint8_t &Out) {
+    if (Pos + 1 > Body.size())
+      return false;
+    Out = static_cast<uint8_t>(Body[Pos++]);
+    return true;
+  }
+
+  bool u32(uint32_t &Out) {
+    if (Pos + 4 > Body.size())
+      return false;
+    Out = 0;
+    for (int Shift = 0; Shift != 32; Shift += 8)
+      Out |= static_cast<uint32_t>(static_cast<uint8_t>(Body[Pos++]))
+             << Shift;
+    return true;
+  }
+
+  bool u64(uint64_t &Out) {
+    if (Pos + 8 > Body.size())
+      return false;
+    Out = 0;
+    for (int Shift = 0; Shift != 64; Shift += 8)
+      Out |= static_cast<uint64_t>(static_cast<uint8_t>(Body[Pos++]))
+             << Shift;
+    return true;
+  }
+
+  bool bytes(size_t Count, std::string &Out) {
+    if (Count > Body.size() - Pos)
+      return false;
+    Out.assign(Body, Pos, Count);
+    Pos += Count;
+    return true;
+  }
+
+  bool atEnd() const { return Pos == Body.size(); }
+
+private:
+  const std::string &Body;
+  size_t Pos = 0;
+};
+
+bool fail(std::string *Error, const char *Reason) {
+  if (Error)
+    *Error = Reason;
+  return false;
+}
+
+/// Reads exactly \p Size bytes. Returns the byte count actually read:
+/// Size on success, less on EOF, or SIZE_MAX on a read error.
+size_t readFull(int Fd, void *Data, size_t Size) {
+  uint8_t *Out = static_cast<uint8_t *>(Data);
+  size_t Got = 0;
+  while (Got != Size) {
+    ssize_t N = ::read(Fd, Out + Got, Size - Got);
+    if (N > 0) {
+      Got += static_cast<size_t>(N);
+      continue;
+    }
+    if (N == 0)
+      return Got; // EOF.
+    if (errno == EINTR)
+      continue;
+    return SIZE_MAX;
+  }
+  return Got;
+}
+
+} // namespace
+
+const char *balign::frameTypeName(FrameType Type) {
+  switch (Type) {
+  case FrameType::Ping:
+    return "ping";
+  case FrameType::Align:
+    return "align";
+  case FrameType::Metrics:
+    return "metrics";
+  case FrameType::Shutdown:
+    return "shutdown";
+  case FrameType::Pong:
+    return "pong";
+  case FrameType::AlignOk:
+    return "align-ok";
+  case FrameType::MetricsOk:
+    return "metrics-ok";
+  case FrameType::ShutdownOk:
+    return "shutdown-ok";
+  case FrameType::Error:
+    return "error";
+  }
+  return "?";
+}
+
+bool balign::isRequestType(uint8_t Type) {
+  return Type <= static_cast<uint8_t>(FrameType::Shutdown);
+}
+
+const char *balign::frameErrorName(FrameError Code) {
+  switch (Code) {
+  case FrameError::None:
+    return "none";
+  case FrameError::BadFrame:
+    return "bad-frame";
+  case FrameError::BadVersion:
+    return "bad-version";
+  case FrameError::BadType:
+    return "bad-type";
+  case FrameError::TooLarge:
+    return "too-large";
+  case FrameError::BadRequest:
+    return "bad-request";
+  case FrameError::ParseError:
+    return "parse-error";
+  case FrameError::ProfileError:
+    return "profile-error";
+  case FrameError::Aborted:
+    return "aborted";
+  case FrameError::Deadline:
+    return "deadline";
+  case FrameError::Rejected:
+    return "rejected";
+  case FrameError::Internal:
+    return "internal";
+  }
+  return "?";
+}
+
+std::string balign::encodeFrame(const Frame &F) {
+  assert(F.Body.size() <= MaxFramePayload - FrameHeaderBytes &&
+         "frame body exceeds the protocol payload cap");
+  std::string Out;
+  Out.reserve(4 + FrameHeaderBytes + F.Body.size());
+  putU32(Out, static_cast<uint32_t>(FrameHeaderBytes + F.Body.size()));
+  Out.push_back('B');
+  Out.push_back('S');
+  Out.push_back(static_cast<char>(ServeProtocolVersion));
+  Out.push_back(static_cast<char>(F.Type));
+  Out += F.Body;
+  return Out;
+}
+
+Frame balign::makeFrame(FrameType Type, std::string Body) {
+  Frame F;
+  F.Type = Type;
+  F.Body = std::move(Body);
+  return F;
+}
+
+Frame balign::makeErrorFrame(FrameError Code, const std::string &Message) {
+  Frame F;
+  F.Type = FrameType::Error;
+  F.Body.push_back(static_cast<char>(Code));
+  F.Body += Message;
+  return F;
+}
+
+bool balign::decodeErrorFrame(const Frame &F, FrameError &Code,
+                              std::string &Message) {
+  if (F.Type != FrameType::Error || F.Body.empty())
+    return false;
+  Code = static_cast<FrameError>(static_cast<uint8_t>(F.Body[0]));
+  Message = F.Body.substr(1);
+  return true;
+}
+
+std::string balign::encodeAlignRequest(const AlignRequest &Request) {
+  std::string Out;
+  Out.reserve(32 + Request.CfgText.size() + Request.ProfileText.size());
+  putU64(Out, Request.Seed);
+  putU64(Out, Request.Budget);
+  putU32(Out, Request.DeadlineMs);
+  Out.push_back(static_cast<char>(Request.Effort));
+  Out.push_back(static_cast<char>(Request.OnError));
+  uint8_t Flags = (Request.ComputeBounds ? 1 : 0) |
+                  (Request.HasProfile ? 2 : 0);
+  Out.push_back(static_cast<char>(Flags));
+  Out.push_back(0); // Reserved; receivers require zero.
+  putU32(Out, static_cast<uint32_t>(Request.CfgText.size()));
+  Out += Request.CfgText;
+  if (Request.HasProfile) {
+    putU32(Out, static_cast<uint32_t>(Request.ProfileText.size()));
+    Out += Request.ProfileText;
+  } else {
+    putU32(Out, 0);
+  }
+  return Out;
+}
+
+bool balign::decodeAlignRequest(const std::string &Body, AlignRequest &Out,
+                                std::string *Error) {
+  BodyReader In(Body);
+  uint8_t Effort = 0, OnError = 0, Flags = 0, Reserved = 0;
+  uint32_t CfgLen = 0, ProfLen = 0;
+  if (!In.u64(Out.Seed) || !In.u64(Out.Budget) || !In.u32(Out.DeadlineMs) ||
+      !In.u8(Effort) || !In.u8(OnError) || !In.u8(Flags) || !In.u8(Reserved))
+    return fail(Error, "align request body shorter than its fixed fields");
+  if (Reserved != 0)
+    return fail(Error, "align request reserved byte is nonzero");
+  if (Effort > static_cast<uint8_t>(EffortPolicy::ScaledColdGreedy))
+    return fail(Error, "align request names an unknown effort policy");
+  if (OnError > static_cast<uint8_t>(OnErrorPolicy::Skip))
+    return fail(Error, "align request names an unknown on-error policy");
+  if (Flags & ~uint8_t(3))
+    return fail(Error, "align request sets unknown flag bits");
+  Out.Effort = static_cast<EffortPolicy>(Effort);
+  Out.OnError = static_cast<OnErrorPolicy>(OnError);
+  Out.ComputeBounds = (Flags & 1) != 0;
+  Out.HasProfile = (Flags & 2) != 0;
+  if (!In.u32(CfgLen) || !In.bytes(CfgLen, Out.CfgText))
+    return fail(Error, "align request CFG text is truncated");
+  if (!In.u32(ProfLen) || !In.bytes(ProfLen, Out.ProfileText))
+    return fail(Error, "align request profile text is truncated");
+  if (!Out.HasProfile && ProfLen != 0)
+    return fail(Error, "align request carries profile bytes without the "
+                       "profile flag");
+  if (!In.atEnd())
+    return fail(Error, "align request has trailing bytes");
+  return true;
+}
+
+ReadStatus balign::readFrame(int Fd, Frame &Out, FrameError &Code,
+                             std::string &Message) {
+  uint8_t LenBytes[4];
+  size_t Got = readFull(Fd, LenBytes, sizeof(LenBytes));
+  if (Got == 0)
+    return ReadStatus::Eof;
+  if (Got != sizeof(LenBytes)) {
+    Code = FrameError::BadFrame;
+    Message = Got == SIZE_MAX ? "read error on frame length"
+                              : "stream ends inside a frame length prefix";
+    return ReadStatus::Error;
+  }
+  uint32_t Len = 0;
+  for (int I = 0; I != 4; ++I)
+    Len |= static_cast<uint32_t>(LenBytes[I]) << (8 * I);
+  // Reject a hostile length *before* reading any payload: waiting on
+  // bytes a lying prefix promised is the unbounded-time failure mode the
+  // protocol tests attack.
+  if (Len > MaxFramePayload) {
+    Code = FrameError::TooLarge;
+    Message = "frame payload of " + std::to_string(Len) +
+              " bytes exceeds the cap of " + std::to_string(MaxFramePayload);
+    return ReadStatus::Error;
+  }
+  if (Len < FrameHeaderBytes) {
+    Code = FrameError::BadFrame;
+    Message = "frame payload of " + std::to_string(Len) +
+              " bytes cannot hold the header";
+    return ReadStatus::Error;
+  }
+  std::string Payload(Len, '\0');
+  Got = readFull(Fd, Payload.data(), Len);
+  if (Got != Len) {
+    Code = FrameError::BadFrame;
+    Message = Got == SIZE_MAX ? "read error inside a frame"
+                              : "stream ends inside a frame payload";
+    return ReadStatus::Error;
+  }
+  if (Payload[0] != 'B' || Payload[1] != 'S') {
+    Code = FrameError::BadFrame;
+    Message = "frame header magic is not 'BS'";
+    return ReadStatus::Error;
+  }
+  uint8_t Version = static_cast<uint8_t>(Payload[2]);
+  if (Version != ServeProtocolVersion) {
+    Code = FrameError::BadVersion;
+    Message = "frame speaks protocol version " + std::to_string(Version) +
+              " but this server speaks " +
+              std::to_string(ServeProtocolVersion);
+    return ReadStatus::Error;
+  }
+  Out.Type = static_cast<FrameType>(static_cast<uint8_t>(Payload[3]));
+  Out.Body.assign(Payload, FrameHeaderBytes,
+                  Payload.size() - FrameHeaderBytes);
+  return ReadStatus::Ok;
+}
+
+bool balign::writeFull(int Fd, const void *Data, size_t Size) {
+  const uint8_t *Bytes = static_cast<const uint8_t *>(Data);
+  size_t Written = 0;
+  while (Written != Size) {
+    ssize_t N = ::write(Fd, Bytes + Written, Size - Written);
+    if (N > 0) {
+      Written += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    return false;
+  }
+  return true;
+}
+
+bool balign::writeFrame(int Fd, const Frame &F) {
+  std::string Wire = encodeFrame(F);
+  return writeFull(Fd, Wire.data(), Wire.size());
+}

@@ -1,0 +1,199 @@
+//===- serve/Server.cpp - Long-lived alignment server ---------------------===//
+
+#include "serve/Server.h"
+
+#include "robust/FaultInjector.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace balign;
+
+AlignServer::AlignServer(const AlignmentOptions &Base, ServeConfig Config)
+    : Service(Base, AlignServiceConfig{Config.DefaultDeadlineMs,
+                                       Config.Clock}),
+      Config(std::move(Config)), Pool(this->Config.Threads),
+      Gate(this->Config.QueueBudget) {}
+
+std::string AlignServer::metricsJson() {
+  Metrics.gaugeMax("serve.queue.highwater",
+                   static_cast<uint64_t>(Gate.highWater()));
+  std::map<std::string, uint64_t> Counters = Metrics.counters();
+  if (Config.CacheStatsFn) {
+    CacheStats S = Config.CacheStatsFn();
+    Counters["cache.hits"] = S.Hits;
+    Counters["cache.misses"] = S.Misses;
+    Counters["cache.stores"] = S.Stores;
+    Counters["cache.entries"] = S.Entries;
+  }
+  return renderMetricsJson(Counters, Metrics.gauges(), /*NumSpans=*/0);
+}
+
+Frame AlignServer::runAlign(const std::string &Body) {
+  Metrics.counterAdd("serve.requests.align", 1);
+  if (!Gate.tryAdmit()) {
+    Metrics.counterAdd("serve.rejected", 1);
+    return makeErrorFrame(FrameError::Rejected,
+                          "align queue budget exhausted; retry later");
+  }
+  // Per-request promise/future instead of ThreadPool::wait(): wait()
+  // drains *every* task and must run outside the workers, while each
+  // connection thread here needs exactly its own request back.
+  std::promise<Frame> Done;
+  std::future<Frame> Result = Done.get_future();
+  Pool.submit([&Done, &Body, this] {
+    try {
+      Done.set_value(Service.handleAlign(Body));
+    } catch (...) {
+      Done.set_exception(std::current_exception());
+    }
+  });
+  Frame Response;
+  try {
+    Response = Result.get();
+  } catch (const std::exception &E) {
+    Response = makeErrorFrame(FrameError::Internal, E.what());
+  }
+  Gate.release();
+  return Response;
+}
+
+Frame AlignServer::dispatch(const Frame &Request, bool &SawShutdown) {
+  switch (Request.Type) {
+  case FrameType::Ping:
+    Metrics.counterAdd("serve.requests.ping", 1);
+    return makeFrame(FrameType::Pong, Request.Body);
+  case FrameType::Align:
+    return runAlign(Request.Body);
+  case FrameType::Metrics:
+    Metrics.counterAdd("serve.requests.metrics", 1);
+    if (!Request.Body.empty())
+      return makeErrorFrame(FrameError::BadRequest,
+                            "metrics request carries a body");
+    return makeFrame(FrameType::MetricsOk, metricsJson());
+  case FrameType::Shutdown:
+    Metrics.counterAdd("serve.requests.shutdown", 1);
+    if (!Request.Body.empty())
+      return makeErrorFrame(FrameError::BadRequest,
+                            "shutdown request carries a body");
+    SawShutdown = true;
+    return makeFrame(FrameType::ShutdownOk);
+  default:
+    return makeErrorFrame(
+        FrameError::BadType,
+        std::string("frame type '") + frameTypeName(Request.Type) +
+            "' is not a request");
+  }
+}
+
+AlignServer::ConnectionEnd AlignServer::serveConnection(int InFd, int OutFd) {
+  Metrics.counterAdd("serve.connections", 1);
+  ConnectionEnd End = ConnectionEnd::Eof;
+  bool SawShutdown = false;
+  while (!SawShutdown) {
+    Frame Request;
+    FrameError Code = FrameError::None;
+    std::string Message;
+    ReadStatus Status = readFrame(InFd, Request, Code, Message);
+    if (Status == ReadStatus::Eof)
+      break;
+    if (Status == ReadStatus::Error) {
+      // The stream cannot be resynchronized after a framing error;
+      // answer once (best effort — the peer may already be gone) and
+      // close this connection. The server lives on.
+      Metrics.counterAdd("serve.frames.bad", 1);
+      Metrics.counterAdd("serve.responses.error", 1);
+      writeFrame(OutFd, makeErrorFrame(Code, Message));
+      return ConnectionEnd::ProtocolError;
+    }
+    Frame Response;
+    try {
+      // balign-shield fault site: the CI serve column arms
+      // BALIGN_FAULT=serve.frame:... to prove one poisoned dispatch
+      // errors structurally while the connection (and server) survive.
+      FaultInjector::instance().throwIfFault(FaultSite::ServeFrame);
+      Response = dispatch(Request, SawShutdown);
+    } catch (const FaultInjectedError &E) {
+      Response = makeErrorFrame(FrameError::Internal, E.what());
+    }
+    if (Response.Type == FrameType::Error)
+      Metrics.counterAdd("serve.responses.error", 1);
+    else
+      Metrics.counterAdd("serve.responses.ok", 1);
+    if (!writeFrame(OutFd, Response))
+      break; // Peer vanished mid-response.
+  }
+  if (SawShutdown) {
+    End = ConnectionEnd::Shutdown;
+    Stopping.store(true);
+    // Wake the accept loop (if any) out of accept(2).
+    int Fd = ListenFd.load();
+    if (Fd >= 0)
+      ::shutdown(Fd, SHUT_RDWR);
+  }
+  return End;
+}
+
+int AlignServer::serveStdio() {
+  ::signal(SIGPIPE, SIG_IGN);
+  return serveConnection(STDIN_FILENO, STDOUT_FILENO) ==
+                 ConnectionEnd::ProtocolError
+             ? 1
+             : 0;
+}
+
+int AlignServer::serveUnixSocket(const std::string &Path) {
+  ::signal(SIGPIPE, SIG_IGN);
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    std::fprintf(stderr, "error: socket path '%s' is too long\n",
+                 Path.c_str());
+    return 1;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    std::fprintf(stderr, "error: socket: %s\n", std::strerror(errno));
+    return 1;
+  }
+  ::unlink(Path.c_str()); // Replace a stale socket file.
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+      ::listen(Fd, 64) < 0) {
+    std::fprintf(stderr, "error: cannot listen on '%s': %s\n", Path.c_str(),
+                 std::strerror(errno));
+    ::close(Fd);
+    return 1;
+  }
+  ListenFd.store(Fd);
+  std::fprintf(stderr, "serve: listening on %s\n", Path.c_str());
+
+  std::vector<std::thread> Connections;
+  while (!Stopping.load()) {
+    int Client = ::accept(Fd, nullptr, nullptr);
+    if (Client < 0) {
+      if (errno == EINTR)
+        continue;
+      break; // Shutdown closed the listener (or it broke for real).
+    }
+    Connections.emplace_back([this, Client] {
+      serveConnection(Client, Client);
+      ::close(Client);
+    });
+  }
+  for (std::thread &T : Connections)
+    T.join();
+  ListenFd.store(-1);
+  ::close(Fd);
+  ::unlink(Path.c_str());
+  std::fprintf(stderr, "serve: shut down cleanly\n");
+  return 0;
+}

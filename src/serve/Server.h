@@ -1,0 +1,175 @@
+//===- serve/Server.h - Long-lived alignment server -----------------------===//
+//
+// Part of the balign project (PLDI 1997 branch-alignment reproduction).
+//
+//===--------------------------------------------------------------------===//
+///
+/// \file
+/// The connection/threading half of balign-serve. An AlignServer owns
+///
+///  - one work-stealing ThreadPool every align request is multiplexed
+///    onto (each request runs whole on one worker, Threads=1 inside, so
+///    the repo's thread-count invariance makes responses byte-identical
+///    at any pool size);
+///  - one AdmissionGate bounding in-flight align requests — past the
+///    budget a request is answered FrameError::Rejected immediately
+///    instead of queueing without bound (backpressure, not buffering);
+///  - one MetricRegistry of serve counters, exported through the
+///    Metrics request type in the exact `--metrics-json` shape. The
+///    server deliberately does *not* install a TraceSession: a span per
+///    request would grow without bound over a server's lifetime.
+///
+/// Ownership/threading model: the accept loop spawns one thread per
+/// connection; the connection thread reads frames in order, answers
+/// ping/metrics/shutdown inline, and blocks on the pool future for each
+/// align request (so one connection sees its responses in request
+/// order; concurrency comes from multiple connections). A protocol
+/// error on a connection closes that connection after a best-effort
+/// error frame — it never touches the server or its siblings.
+///
+//===--------------------------------------------------------------------===//
+
+#ifndef BALIGN_SERVE_SERVER_H
+#define BALIGN_SERVE_SERVER_H
+
+#include "serve/Service.h"
+
+#include "cache/Store.h"
+#include "support/ThreadPool.h"
+#include "trace/Scope.h"
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace balign {
+
+/// Bounded admission of in-flight align requests. Budget 0 = unlimited
+/// (the CLI convention). Thread-safe; public so tests can pre-saturate
+/// it and observe a deterministic Rejected without racing real work.
+class AdmissionGate {
+public:
+  explicit AdmissionGate(size_t Budget) : Budget(Budget) {}
+
+  /// Claims a slot; false when the budget is exhausted (backpressure).
+  bool tryAdmit() {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Budget != 0 && Depth >= Budget)
+      return false;
+    ++Depth;
+    if (Depth > HighWater)
+      HighWater = Depth;
+    return true;
+  }
+
+  /// Returns a slot claimed by tryAdmit.
+  void release() {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    --Depth;
+  }
+
+  /// In-flight align requests right now.
+  size_t depth() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Depth;
+  }
+
+  /// Deepest the gate has ever been (the serve.queue.highwater gauge).
+  size_t highWater() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return HighWater;
+  }
+
+private:
+  mutable std::mutex Mutex;
+  size_t Budget;
+  size_t Depth = 0;
+  size_t HighWater = 0;
+};
+
+/// Server-level configuration.
+struct ServeConfig {
+  /// Pool workers align requests run on (0 = hardware threads).
+  unsigned Threads = 0;
+
+  /// Max in-flight align requests before Rejected (0 = unlimited).
+  size_t QueueBudget = 0;
+
+  /// Deadline for requests that do not carry one (0 = unlimited).
+  uint64_t DefaultDeadlineMs = 0;
+
+  /// Injectable clock for per-request deadlines (tests).
+  ClockFn Clock;
+
+  /// When set, cache counters are merged into metrics snapshots as
+  /// "cache.<field>" (align_tool wires this to its CacheSession).
+  std::function<CacheStats()> CacheStatsFn;
+};
+
+/// The long-lived server. Construct once over the shared
+/// AlignmentOptions (whose CacheImpl is the cross-client cache), then
+/// run serveUnixSocket / serveStdio — or drive serveConnection directly
+/// over a socketpair, which is how the test battery attacks it without
+/// filesystem paths.
+class AlignServer {
+public:
+  AlignServer(const AlignmentOptions &Base, ServeConfig Config);
+
+  /// How one connection ended.
+  enum class ConnectionEnd : uint8_t {
+    Eof,           ///< Clean EOF at a frame boundary.
+    ProtocolError, ///< A framing error closed the connection.
+    Shutdown,      ///< A Shutdown frame was answered; the server stops.
+  };
+
+  /// Serves one established connection: reads frames from \p InFd and
+  /// writes responses to \p OutFd until EOF, a protocol error, or a
+  /// Shutdown frame. Thread-safe; the accept loop runs it once per
+  /// connection thread.
+  ConnectionEnd serveConnection(int InFd, int OutFd);
+
+  /// Listens on unix-domain socket \p Path (an existing file at Path is
+  /// replaced) and accepts until a Shutdown frame arrives. Returns 0 on
+  /// clean shutdown, 1 on setup failure (bind/listen).
+  int serveUnixSocket(const std::string &Path);
+
+  /// Serves a single connection on stdin/stdout ("--serve -"): the
+  /// pipe-mode peer for driving the server from a harness without
+  /// socket plumbing. Returns 0 when the stream ended cleanly or shut
+  /// down, 1 when a protocol error closed it.
+  int serveStdio();
+
+  /// The admission gate (tests pre-saturate it for deterministic
+  /// Rejected coverage).
+  AdmissionGate &gate() { return Gate; }
+
+  /// The serve counters.
+  MetricRegistry &metrics() { return Metrics; }
+
+  /// Metrics snapshot in the `--metrics-json` shape, cache counters
+  /// merged in, queue high-water refreshed.
+  std::string metricsJson();
+
+private:
+  /// Dispatches one well-formed frame; returns the response to write.
+  /// Sets \p SawShutdown for Shutdown frames.
+  Frame dispatch(const Frame &Request, bool &SawShutdown);
+
+  /// Runs one align body on the pool and waits for its response.
+  Frame runAlign(const std::string &Body);
+
+  AlignService Service;
+  ServeConfig Config;
+  ThreadPool Pool;
+  AdmissionGate Gate;
+  MetricRegistry Metrics;
+  std::atomic<bool> Stopping{false};
+  std::atomic<int> ListenFd{-1};
+};
+
+} // namespace balign
+
+#endif // BALIGN_SERVE_SERVER_H

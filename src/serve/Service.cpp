@@ -1,0 +1,62 @@
+//===- serve/Service.cpp - One-request alignment service ------------------===//
+
+#include "serve/Service.h"
+
+#include "ir/TextFormat.h"
+#include "profile/ProfileIO.h"
+#include "serve/Oneshot.h"
+
+using namespace balign;
+
+Frame AlignService::handleAlign(const std::string &Body) const {
+  AlignRequest Req;
+  std::string Error;
+  if (!decodeAlignRequest(Body, Req, &Error))
+    return makeErrorFrame(FrameError::BadRequest, Error);
+
+  std::optional<Program> Prog = parseProgram(Req.CfgText, &Error);
+  if (!Prog)
+    return makeErrorFrame(FrameError::ParseError, Error);
+
+  std::optional<ProgramProfile> Counts;
+  if (Req.HasProfile) {
+    Counts = parseProgramProfile(*Prog, Req.ProfileText, &Error);
+    if (!Counts)
+      return makeErrorFrame(FrameError::ProfileError, Error);
+  } else {
+    Counts = synthesizeProfile(*Prog, Req.Seed, Req.Budget);
+  }
+
+  // The per-request view of the shared base: one pool worker runs the
+  // whole request (Threads = 1), verification hooks never apply, and
+  // the request's own knobs replace the CLI's. CacheImpl rides along
+  // from the base — that is the shared warm cache.
+  AlignmentOptions Options = Base;
+  Options.Threads = 1;
+  Options.Hooks = {};
+  Options.Solver.Seed = Req.Seed;
+  Options.Effort = Req.Effort;
+  Options.ComputeBounds = Req.ComputeBounds;
+  Options.OnError = Req.OnError;
+  if (Config.Clock)
+    Options.Clock = Config.Clock;
+
+  uint64_t BudgetMs = Req.DeadlineMs ? Req.DeadlineMs
+                                     : Config.DefaultDeadlineMs;
+  Deadline RequestDeadline(BudgetMs, Config.Clock);
+  Options.RunDeadline = BudgetMs ? &RequestDeadline : nullptr;
+
+  try {
+    ProgramAlignment Result = alignProgram(*Prog, *Counts, Options);
+    return makeFrame(FrameType::AlignOk,
+                     renderAlignmentReport(*Prog, *Counts, Result,
+                                           Req.ComputeBounds,
+                                           /*EmitDot=*/false));
+  } catch (const AlignmentAborted &E) {
+    return makeErrorFrame(FrameError::Aborted, E.what());
+  } catch (const DeadlineExceeded &E) {
+    return makeErrorFrame(FrameError::Deadline, E.what());
+  } catch (const std::exception &E) {
+    return makeErrorFrame(FrameError::Internal, E.what());
+  }
+}

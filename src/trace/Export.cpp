@@ -99,15 +99,21 @@ std::string TraceSession::chromeTraceJson() const {
   return Out;
 }
 
-std::string TraceSession::metricsJson() const {
+std::string balign::renderMetricsJson(
+    const std::map<std::string, uint64_t> &Counters,
+    const std::map<std::string, uint64_t> &Gauges, size_t NumSpans) {
   std::string Out = "{\"counters\":";
-  appendMetricMap(Out, Metrics.counters());
+  appendMetricMap(Out, Counters);
   Out += ",\"gauges\":";
-  appendMetricMap(Out, Metrics.gauges());
+  appendMetricMap(Out, Gauges);
   Out += ",\"spans\":";
-  Out += std::to_string(numSpans());
+  Out += std::to_string(NumSpans);
   Out += "}\n";
   return Out;
+}
+
+std::string TraceSession::metricsJson() const {
+  return renderMetricsJson(Metrics.counters(), Metrics.gauges(), numSpans());
 }
 
 std::string TraceSession::metricsSummary() const {

@@ -241,6 +241,15 @@ private:
   int64_t Saved;
 };
 
+/// Renders a counter/gauge snapshot in the exact `--metrics-json` shape
+/// ({"counters":{...},"gauges":{...},"spans":N}, keys sorted, trailing
+/// newline). TraceSession::metricsJson delegates here; balign-serve uses
+/// it directly over its own MetricRegistry, so the live metrics endpoint
+/// and the CLI dump can never drift apart.
+std::string renderMetricsJson(const std::map<std::string, uint64_t> &Counters,
+                              const std::map<std::string, uint64_t> &Gauges,
+                              size_t NumSpans);
+
 /// Counter/gauge probes for instrumented subsystems: one relaxed atomic
 /// load when tracing is off.
 inline void scopeCounterAdd(const char *Name, uint64_t Delta = 1) {
