@@ -7,7 +7,9 @@
 // prints a per-procedure penalty report plus the aligned block orders.
 //
 // Usage:
-//   align_tool <program.cfg> [--aligner greedy|tsp|cg|original]
+//   align_tool <program.cfg> [--aligner greedy|tsp|cg|original|exttsp]
+//              [--objective fallthrough|exttsp] [--exttsp-window N]
+//              [--exttsp-weights F,B]
 //              [--budget N] [--seed N] [--threads N] [--dot] [--bounds]
 //              [--profile FILE] [--emit-profile FILE]
 //              [--cache DIR] [--cache-stats] [--batch FILE]
@@ -116,6 +118,16 @@ struct ToolOptions {
   std::string File;
   std::string AlignerName = "tsp";
   bool AlignerGiven = false;   ///< Whether --aligner appeared at all.
+
+  // balign-objective flags. The window/weight knobs write into the
+  // MachineModel's Ext-TSP parameters; the objective picks what the
+  // exttsp aligner maximizes.
+  ObjectiveKind Objective = ObjectiveKind::ExtTsp;
+  bool ObjectiveGiven = false; ///< Whether --objective appeared at all.
+  uint64_t ExtTspWindow = 0;   ///< --exttsp-window; 0 = model defaults.
+  bool WeightsGiven = false;   ///< Whether --exttsp-weights appeared.
+  double ExtTspForwardWeight = 0.0;
+  double ExtTspBackwardWeight = 0.0;
   std::string ProfileFile;     ///< Read counts instead of simulating.
   std::string EmitProfileFile; ///< Dump the counts used.
   std::string CacheDir;        ///< Non-empty enables the disk cache.
@@ -200,6 +212,29 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Options) {
         return false;
       Options.AlignerName = V;
       Options.AlignerGiven = true;
+    } else if (Arg == "--objective") {
+      const char *V = needValue("--objective");
+      if (!V)
+        return false;
+      if (!parseObjectiveKind(V, Options.Objective)) {
+        std::fprintf(stderr, "error: unknown --objective '%s' (want "
+                     "fallthrough or exttsp)\n", V);
+        return false;
+      }
+      Options.ObjectiveGiven = true;
+    } else if (Arg == "--exttsp-window") {
+      // A zero window would make every jump worthless and a huge one
+      // makes the linear decay meaningless; both are almost certainly
+      // typos, so the established exit-code contract rejects them.
+      if (!flagUIntInRange("--exttsp-window", Argc, Argv, I,
+                           Options.ExtTspWindow, 1, 1 << 20))
+        return false;
+    } else if (Arg == "--exttsp-weights") {
+      if (!flagDoublePair("--exttsp-weights", Argc, Argv, I,
+                          Options.ExtTspForwardWeight,
+                          Options.ExtTspBackwardWeight, 1024.0))
+        return false;
+      Options.WeightsGiven = true;
     } else if (Arg == "--budget") {
       if (!needInt("--budget", Options.Budget))
         return false;
@@ -327,12 +362,26 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Options) {
       return false;
     } else if (Arg == "--help" || Arg == "-h") {
       std::printf("usage: align_tool [file.cfg] [--aligner "
-                  "greedy|tsp|cg|original] [--budget N] [--seed N] "
+                  "greedy|tsp|cg|original|exttsp] [--budget N] [--seed N] "
                   "[--threads N] [--dot] [--bounds] "
                   "[--verify[=quick|full|none]] "
                   "[--profile FILE] [--emit-profile FILE]\n"
                   "                  [--cache DIR] [--cache-stats] "
                   "[--batch FILE]\n"
+                  "  --aligner exttsp  chain-merge on the Ext-TSP locality "
+                  "objective instead of\n"
+                  "                solving the DTSP (works in the pipeline "
+                  "modes too)\n"
+                  "  --objective O fallthrough|exttsp: what the exttsp "
+                  "aligner maximizes\n"
+                  "                (default exttsp)\n"
+                  "  --exttsp-window N  Ext-TSP forward/backward window in "
+                  "bytes, in\n"
+                  "                [1, 1048576] (defaults 1024 forward / "
+                  "640 backward)\n"
+                  "  --exttsp-weights F,B  Ext-TSP forward,backward jump "
+                  "weights as\n"
+                  "                decimals in [0, 1024] (default 0.1,0.1)\n"
                   "  --threads N   pipeline worker threads "
                   "(0 = all hardware threads, 1 = serial;\n"
                   "                results are identical at every "
@@ -416,7 +465,8 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Options) {
   return true;
 }
 
-std::unique_ptr<Aligner> makeAligner(const std::string &Name) {
+std::unique_ptr<Aligner> makeAligner(const std::string &Name,
+                                     ObjectiveKind Objective) {
   if (Name == "greedy")
     return std::make_unique<GreedyAligner>();
   if (Name == "tsp")
@@ -425,6 +475,8 @@ std::unique_ptr<Aligner> makeAligner(const std::string &Name) {
     return std::make_unique<CalderGrunwaldAligner>();
   if (Name == "original")
     return std::make_unique<OriginalAligner>();
+  if (Name == "exttsp")
+    return std::make_unique<ExtTspAligner>(Objective);
   return nullptr;
 }
 
@@ -484,11 +536,13 @@ std::optional<ProgramProfile> obtainProfile(const Program &Prog,
 void reportPipelineAlignment(const Program &Prog,
                              const ProgramProfile &Counts,
                              const ProgramAlignment &Result,
-                             const ToolOptions &Options) {
+                             const ToolOptions &Options,
+                             const AlignmentOptions &AlignOptions) {
   // Shared with balign-serve: an AlignOk response body must be
   // byte-identical to this stdout, so both render through one function.
   std::string Report = renderAlignmentReport(
-      Prog, Counts, Result, Options.ComputeBounds, Options.EmitDot);
+      Prog, Counts, Result, Options.ComputeBounds, Options.EmitDot,
+      primaryAlignerName(AlignOptions.Primary));
   std::fwrite(Report.data(), 1, Report.size(), stdout);
 }
 
@@ -563,7 +617,7 @@ bool alignOneProgram(const Program &Prog, const ProgramProfile &Counts,
       !runVerified(Prog, Counts, Options, AlignOptions))
     return false;
   ProgramAlignment Result = alignProgram(Prog, Counts, AlignOptions);
-  reportPipelineAlignment(Prog, Counts, Result, Options);
+  reportPipelineAlignment(Prog, Counts, Result, Options, AlignOptions);
   if (Options.shieldActive())
     reportShieldOutcome(Result, Prog.numProcedures());
   return true;
@@ -729,12 +783,17 @@ int main(int Argc, char **Argv) {
     // pipeline path just like --cache/--batch.
     bool UsePipeline = !Options.CacheDir.empty() ||
                        !Options.BatchFile.empty() || Options.shieldActive();
-    if (UsePipeline && Options.AlignerGiven && Options.AlignerName != "tsp")
+    if (UsePipeline && Options.AlignerGiven && Options.AlignerName != "tsp" &&
+        Options.AlignerName != "exttsp")
       std::fprintf(stderr,
                    "warning: --aligner %s is ignored with "
                    "--cache/--batch/--on-error (the full pipeline reports "
                    "greedy and tsp)\n",
                    Options.AlignerName.c_str());
+    if (Options.ObjectiveGiven && Options.AlignerName != "exttsp")
+      std::fprintf(stderr,
+                   "warning: --objective only affects --aligner exttsp; "
+                   "ignored\n");
     if (!Options.CheckpointFile.empty() && Options.BatchFile.empty())
       std::fprintf(stderr,
                    "warning: --checkpoint is only meaningful with --batch; "
@@ -747,6 +806,22 @@ int main(int Argc, char **Argv) {
 
     AlignmentOptions AlignOptions;
     AlignOptions.Model = MachineModel::alpha21164();
+    // The Ext-TSP knobs live on the machine model (and --aligner exttsp
+    // selects the pipeline's primary aligner), so they must be applied
+    // before the cache session is built: fingerprints absorb them.
+    if (Options.AlignerName == "exttsp")
+      AlignOptions.Primary = PrimaryAligner::ExtTsp;
+    AlignOptions.Objective = Options.Objective;
+    if (Options.ExtTspWindow) {
+      AlignOptions.Model.ExtTspForwardWindow =
+          static_cast<uint32_t>(Options.ExtTspWindow);
+      AlignOptions.Model.ExtTspBackwardWindow =
+          static_cast<uint32_t>(Options.ExtTspWindow);
+    }
+    if (Options.WeightsGiven) {
+      AlignOptions.Model.ExtTspForwardWeight = Options.ExtTspForwardWeight;
+      AlignOptions.Model.ExtTspBackwardWeight = Options.ExtTspBackwardWeight;
+    }
     AlignOptions.Solver.Seed = Options.Seed;
     AlignOptions.ComputeBounds = Options.ComputeBounds;
     AlignOptions.Threads = Options.Threads;
@@ -900,7 +975,8 @@ int runAlignment(const ToolOptions &Options, AlignmentOptions &AlignOptions,
       return alignOneProgram(*Prog, *Counts, Options, AlignOptions) ? 0 : 1;
     } else {
       // Legacy single-aligner path, byte-compatible with prior releases.
-      std::unique_ptr<Aligner> TheAligner = makeAligner(Options.AlignerName);
+      std::unique_ptr<Aligner> TheAligner =
+          makeAligner(Options.AlignerName, Options.Objective);
       if (!TheAligner) {
         std::fprintf(stderr, "error: unknown aligner '%s'\n",
                      Options.AlignerName.c_str());

@@ -98,6 +98,44 @@ bool parseArgs(int Argc, char **Argv, ClientOptions &Options) {
       }
     } else if (Arg == "--bounds") {
       Options.Request.ComputeBounds = true;
+    } else if (Arg == "--aligner") {
+      const char *V = needValue("--aligner");
+      if (!V)
+        return false;
+      if (std::strcmp(V, "tsp") == 0)
+        Options.Request.Primary = PrimaryAligner::Tsp;
+      else if (std::strcmp(V, "exttsp") == 0)
+        Options.Request.Primary = PrimaryAligner::ExtTsp;
+      else {
+        std::fprintf(stderr, "error: unknown --aligner '%s' (the server "
+                     "only runs tsp or exttsp)\n", V);
+        return false;
+      }
+      Options.Request.HasObjective = true;
+    } else if (Arg == "--objective") {
+      const char *V = needValue("--objective");
+      if (!V)
+        return false;
+      if (!parseObjectiveKind(V, Options.Request.Objective)) {
+        std::fprintf(stderr, "error: unknown --objective '%s' (want "
+                     "fallthrough or exttsp)\n", V);
+        return false;
+      }
+      Options.Request.HasObjective = true;
+    } else if (Arg == "--exttsp-window") {
+      uint64_t Window = 0;
+      if (!flagUIntInRange("--exttsp-window", Argc, Argv, I, Window, 1,
+                           1u << 20))
+        return false;
+      Options.Request.ExtTspForwardWindow = static_cast<uint32_t>(Window);
+      Options.Request.ExtTspBackwardWindow = static_cast<uint32_t>(Window);
+      Options.Request.HasObjective = true;
+    } else if (Arg == "--exttsp-weights") {
+      if (!flagDoublePair("--exttsp-weights", Argc, Argv, I,
+                          Options.Request.ExtTspForwardWeight,
+                          Options.Request.ExtTspBackwardWeight, 1024.0))
+        return false;
+      Options.Request.HasObjective = true;
     } else if (Arg == "--ping") {
       Options.Ping = true;
     } else if (Arg == "--metrics") {
@@ -109,7 +147,11 @@ bool parseArgs(int Argc, char **Argv, ClientOptions &Options) {
                   "[--seed N] [--budget N]\n"
                   "                     [--bounds] [--deadline MS] "
                   "[--on-error abort|fallback|skip]\n"
-                  "                     [--effort-policy P] [--ping] "
+                  "                     [--effort-policy P] "
+                  "[--aligner tsp|exttsp]\n"
+                  "                     [--objective fallthrough|exttsp] "
+                  "[--exttsp-window N]\n"
+                  "                     [--exttsp-weights F,B] [--ping] "
                   "[--metrics] [--shutdown]\n"
                   "Sends requests to an `align_tool --serve SOCK` server; "
                   "align reports go to\n"

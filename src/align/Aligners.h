@@ -23,16 +23,20 @@
 ///    followed by an exhaustive search over the orders of the hottest
 ///    few chains (our bounded adaptation of their "all orders of the
 ///    blocks touched by the 15 hottest edges" search).
+///  * ExtTspAligner — the 2020s-era baseline: Newell/Pupyrev-style chain
+///    merging driven by an ObjectiveFn score delta (objective/), with a
+///    bounded split-point search when inserting into short hot chains.
 ///
 //===--------------------------------------------------------------------===//
 
 #ifndef BALIGN_ALIGN_ALIGNERS_H
 #define BALIGN_ALIGN_ALIGNERS_H
 
-#include "align/Layout.h"
 #include "align/Reduction.h"
 #include "ir/CFG.h"
 #include "machine/MachineModel.h"
+#include "objective/Layout.h"
+#include "objective/Objective.h"
 #include "profile/Profile.h"
 #include "tsp/IteratedOpt.h"
 
@@ -110,6 +114,34 @@ public:
 
 private:
   unsigned MaxExhaustiveChains;
+};
+
+/// Newell/Pupyrev-style chain merging ("Improved Basic Block Reordering"):
+/// every block starts as its own chain; the pair of chains connected by an
+/// executed CFG edge whose merge improves the objective score the most is
+/// merged, repeatedly, until no merge improves the score. Besides plain
+/// concatenation X+Y, a bounded split-point search inserts Y at every
+/// interior position of X when X is short (<= MaxSplitBlocks) and at
+/// least as hot as Y — the adaptation of the paper's split merges that
+/// keeps each round linear in chain length. Leftover chains concatenate
+/// entry-first, then by falling execution weight. Fully deterministic:
+/// candidate pairs are enumerated in chain-index order and ties keep the
+/// first candidate.
+class ExtTspAligner : public Aligner {
+public:
+  explicit ExtTspAligner(ObjectiveKind Objective = ObjectiveKind::ExtTsp,
+                         unsigned MaxSplitBlocks = 16)
+      : Objective(Objective), MaxSplitBlocks(MaxSplitBlocks) {}
+
+  std::string name() const override { return "exttsp"; }
+  Layout align(const Procedure &Proc, const ProcedureProfile &Train,
+               const MachineModel &Model) const override;
+
+  ObjectiveKind objective() const { return Objective; }
+
+private:
+  ObjectiveKind Objective;
+  unsigned MaxSplitBlocks;
 };
 
 } // namespace balign

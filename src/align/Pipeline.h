@@ -155,12 +155,38 @@ inline uint64_t derivedSolverSeed(uint64_t RootSeed, size_t ProcIndex) {
   return RootSeed + 0x9e3779b9u * (static_cast<uint64_t>(ProcIndex) + 1);
 }
 
+/// Which algorithm produces the pipeline's primary layout
+/// (ProcedureAlignment::TspLayout — the name is historical; greedy and
+/// original are always computed alongside as baselines).
+enum class PrimaryAligner : uint8_t {
+  Tsp = 0,    ///< The paper's DTSP + iterated 3-Opt (the default).
+  ExtTsp = 1, ///< ObjectiveFn-driven chain merging (ExtTspAligner).
+};
+
+/// Stable flag spelling ("tsp" / "exttsp").
+const char *primaryAlignerName(PrimaryAligner Primary);
+
 /// Configuration for alignProgram.
 struct AlignmentOptions {
   MachineModel Model = MachineModel::alpha21164();
   IteratedOptOptions Solver;
   HeldKarpOptions HeldKarp;
   bool ComputeBounds = true;
+
+  /// The algorithm behind the primary layout. ExtTsp skips the DTSP
+  /// matrix/solve stages entirely (the AfterMatrix/AfterSolve hooks
+  /// never fire — there are no artifacts to observe) and runs the
+  /// chain merger under the solve-stage timer instead. Result-affecting,
+  /// so the cache fingerprint keys on it.
+  PrimaryAligner Primary = PrimaryAligner::Tsp;
+
+  /// The objective the ExtTsp chain merger maximizes (ignored under
+  /// PrimaryAligner::Tsp). ObjectiveKind::ExtTsp reads the windows and
+  /// weights from Model; ObjectiveKind::Fallthrough chain-merges on the
+  /// paper's penalty instead (a useful ablation). Result-affecting under
+  /// ExtTsp, so the fingerprint keys on it and on the Model's Ext-TSP
+  /// parameters.
+  ObjectiveKind Objective = ObjectiveKind::ExtTsp;
 
   /// How solver effort is spread across procedures (balign-lint's
   /// profile-guided effort): Uniform runs Solver as-is everywhere;

@@ -146,6 +146,8 @@ const char *balign::checkIdName(CheckId Check) {
     return "lint.linear-cfg";
   case CheckId::LintModelSuspicious:
     return "lint.model-suspicious";
+  case CheckId::LintObjectiveWindow:
+    return "lint.objective.window";
   }
   assert(false && "unknown check id");
   return "?";

@@ -133,6 +133,7 @@ enum class CheckId : uint16_t {
   LintSelfLoop,          ///< lint.self-loop
   LintLinearCfg,         ///< lint.linear-cfg
   LintModelSuspicious,   ///< lint.model-suspicious
+  LintObjectiveWindow,   ///< lint.objective.window
 };
 
 /// Returns the stable printable ID, e.g. "cfg.unreachable-block".

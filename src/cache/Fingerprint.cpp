@@ -139,6 +139,18 @@ balign::fingerprintProcedureInputs(const Procedure &Proc,
   hashProcedure(H, Proc);
   hashProfile(H, Train);
   hashMachineModel(H, Options.Model);
+  // Which algorithm produced the primary layout is result-affecting;
+  // under ExtTsp so are the objective kind and the model's Ext-TSP
+  // parameters (which hashMachineModel deliberately leaves out — they
+  // must not churn the keys of DTSP results they cannot affect).
+  H.u8(static_cast<uint8_t>(Options.Primary));
+  if (Options.Primary == PrimaryAligner::ExtTsp) {
+    H.u8(static_cast<uint8_t>(Options.Objective));
+    H.u32(Options.Model.ExtTspForwardWindow);
+    H.u32(Options.Model.ExtTspBackwardWindow);
+    H.f64(Options.Model.ExtTspForwardWeight);
+    H.f64(Options.Model.ExtTspBackwardWeight);
+  }
   // The effort decision is result-affecting: it rewrites the solver
   // options and may route the procedure to the greedy-only fast path.
   // Hash the *effective* options (after decideEffort — the same pure
@@ -147,9 +159,15 @@ balign::fingerprintProcedureInputs(const Procedure &Proc,
   EffortDecision Effort =
       decideEffort(Proc, Train, Options.Solver, Options.Effort);
   H.u8(Effort.GreedyOnly ? 1 : 0);
-  IteratedOptOptions Derived = Effort.Solver;
-  Derived.Seed = derivedSolverSeed(Options.Solver.Seed, ProcIndex);
-  hashSolverOptions(H, Derived);
+  // The solver options (including the derived per-procedure seed) can
+  // only matter on the DTSP path: chain-merged results are
+  // seed-independent, so leaving the options out lets
+  // differently-seeded ExtTsp runs share entries.
+  if (Options.Primary == PrimaryAligner::Tsp) {
+    IteratedOptOptions Derived = Effort.Solver;
+    Derived.Seed = derivedSolverSeed(Options.Solver.Seed, ProcIndex);
+    hashSolverOptions(H, Derived);
+  }
   H.u8(Options.ComputeBounds ? 1 : 0);
   if (Options.ComputeBounds)
     hashHeldKarpOptions(H, Options.HeldKarp);

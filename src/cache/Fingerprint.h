@@ -46,7 +46,11 @@ namespace balign {
 /// Bump on any change to either; old stores then invalidate wholesale.
 /// v2: the effort-policy decision (effective solver options plus the
 /// greedy-only routing bit) joined the absorbed inputs.
-inline constexpr uint32_t CacheFormatVersion = 2;
+/// v3: the primary-aligner choice joined the absorbed inputs; under
+/// PrimaryAligner::ExtTsp the objective kind and the model's Ext-TSP
+/// windows/weights are keyed and the (irrelevant) solver options are
+/// not.
+inline constexpr uint32_t CacheFormatVersion = 3;
 
 /// A 128-bit content fingerprint.
 struct Fingerprint {

@@ -70,6 +70,19 @@ struct MachineModel {
   /// Multiway branch to any other CFG successor: 3 cycles (pNT/pTN).
   uint32_t MultiwayMispredict = 3;
 
+  /// Ext-TSP objective parameters (Newell/Pupyrev, "Improved Basic Block
+  /// Reordering"). A branch whose target lands within the forward window
+  /// of the branch site still scores — linearly decaying with distance —
+  /// because the target line is likely already fetched. Distances are in
+  /// bytes from the end of the source block to the start of the target
+  /// block; a distance of zero is a fall through and scores the full
+  /// (implicit) weight of 1.0 per execution. Defaults follow the BOLT
+  /// CodeLayout constants (1024/640-byte windows, 0.1/0.1 weights).
+  uint32_t ExtTspForwardWindow = 1024;
+  uint32_t ExtTspBackwardWindow = 640;
+  double ExtTspForwardWeight = 0.1;
+  double ExtTspBackwardWeight = 0.1;
+
   /// The Alpha 21164 model of Table 3 (misfetch 1, cond mispredict 5).
   static MachineModel alpha21164();
 

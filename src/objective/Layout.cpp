@@ -1,8 +1,8 @@
-//===- align/Layout.cpp -----------------------------------------------------===//
+//===- objective/Layout.cpp -------------------------------------------------===//
 
-#include "align/Layout.h"
+#include "objective/Layout.h"
 
-#include "align/Penalty.h"
+#include "objective/Penalty.h"
 
 #include <cassert>
 #include <numeric>

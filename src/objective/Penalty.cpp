@@ -1,6 +1,6 @@
-//===- align/Penalty.cpp ----------------------------------------------------===//
+//===- objective/Penalty.cpp ------------------------------------------------===//
 
-#include "align/Penalty.h"
+#include "objective/Penalty.h"
 
 #include <cassert>
 

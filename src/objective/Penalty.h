@@ -1,0 +1,79 @@
+//===- objective/Penalty.h - Layout penalty model (paper Section 2.2) ---------===//
+//
+// Part of the balign project (PLDI 1997 branch-alignment reproduction).
+//
+//===--------------------------------------------------------------------===//
+///
+/// \file
+/// The penalty model of Section 2.2 / Table 3, implemented once and shared
+/// by the DTSP cost-matrix builder, the layout evaluator, and the layout
+/// materializer so that "DTSP walk cost" and "evaluated layout penalty"
+/// agree by construction.
+///
+/// Every function takes *two* profiles:
+///  * \p Predict fixes the compile-time decisions — the static prediction
+///    (most common CFG successor) and the fixup-jump orientation. This is
+///    always the training profile.
+///  * \p Charge supplies the edge frequencies penalties are charged
+///    against. Same-data-set evaluation passes Charge = Predict;
+///    cross-validation (paper Section 4.2) passes the testing profile,
+///    which is how a branch whose majority direction flips between data
+///    sets ends up paying mispredicts on its new majority path.
+///
+//===--------------------------------------------------------------------===//
+
+#ifndef BALIGN_OBJECTIVE_PENALTY_H
+#define BALIGN_OBJECTIVE_PENALTY_H
+
+#include "objective/Layout.h"
+#include "ir/CFG.h"
+#include "machine/MachineModel.h"
+#include "profile/Profile.h"
+
+namespace balign {
+
+/// Penalty cycles accrued at block \p B in any layout where \p LayoutSucc
+/// (InvalidBlock = end of layout / unrelated block follows) succeeds B.
+///
+/// Cases (Alpha 21164 values in parentheses):
+///  * Return: 0.
+///  * Unconditional: 0 if the successor follows in layout, else an
+///    unconditional branch per execution (2).
+///  * Conditional, predicted successor laid out next: mispredicts only
+///    (5 x other-edge count).
+///  * Conditional, other successor laid out next: correctly predicted
+///    taken branches pay the misfetch (1 x predicted-edge count) plus
+///    mispredicts (5 x other).
+///  * Conditional, neither laid out next: a fixup jump is required; the
+///    cheaper orientation under \p Predict is charged (see
+///    fixupTakenToPredicted).
+///  * Multiway: layout-independent — predicted-target executions pay the
+///    misfetch (1), every other target pays the indirect-branch penalty
+///    (3).
+uint64_t blockLayoutPenalty(const Procedure &Proc, const MachineModel &Model,
+                            const ProcedureProfile &Predict,
+                            const ProcedureProfile &Charge, BlockId B,
+                            BlockId LayoutSucc);
+
+/// Decides the fixup orientation for conditional block \p B when neither
+/// successor is its layout successor: returns true if the conditional
+/// branch should target the predicted successor directly (predict-taken;
+/// the fixup jump then realizes the unlikely edge), false if the branch
+/// should be inverted so the predicted successor is reached through the
+/// fall-through fixup jump (predict-not-taken). Chooses whichever is
+/// cheaper under \p Predict, breaking ties toward predict-taken.
+bool fixupTakenToPredicted(const Procedure &Proc, const MachineModel &Model,
+                           const ProcedureProfile &Predict, BlockId B);
+
+/// Total penalty of \p Layout: the sum of blockLayoutPenalty over
+/// consecutive layout pairs plus the final block's end-of-layout term.
+/// With Charge == Predict this equals the cost of the corresponding DTSP
+/// walk (tested invariant).
+uint64_t evaluateLayout(const Procedure &Proc, const Layout &Layout,
+                        const MachineModel &Model,
+                        const ProcedureProfile &Predict,
+                        const ProcedureProfile &Charge);
+
+} // namespace balign
+
+#endif // BALIGN_OBJECTIVE_PENALTY_H

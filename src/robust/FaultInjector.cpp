@@ -57,6 +57,8 @@ const char *balign::faultSiteName(FaultSite Site) {
     return "cache.flush";
   case FaultSite::ServeFrame:
     return "serve.frame";
+  case FaultSite::AlignChain:
+    return "align.chain";
   }
   return "?";
 }

@@ -66,9 +66,10 @@ enum class FaultSite : uint8_t {
   CacheLoad,    ///< cache.load — cache store disk reads.
   CacheFlush,   ///< cache.flush — cache store disk writes.
   ServeFrame,   ///< serve.frame — balign-serve request dispatch.
+  AlignChain,   ///< align.chain — the Ext-TSP chain-merging aligner.
 };
 
-inline constexpr size_t NumFaultSites = 8;
+inline constexpr size_t NumFaultSites = 9;
 
 /// Returns the stable printable name, e.g. "tsp.solve".
 const char *faultSiteName(FaultSite Site);

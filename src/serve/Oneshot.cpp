@@ -58,14 +58,15 @@ ProgramProfile balign::synthesizeProfile(const Program &Prog, uint64_t Seed,
 std::string balign::renderAlignmentReport(const Program &Prog,
                                           const ProgramProfile &Counts,
                                           const ProgramAlignment &Result,
-                                          bool ComputeBounds, bool EmitDot) {
+                                          bool ComputeBounds, bool EmitDot,
+                                          const char *PrimaryName) {
   TextTable Report;
   Report.addColumn("procedure");
   Report.addColumn("blocks", TextTable::AlignKind::Right);
   Report.addColumn("branches", TextTable::AlignKind::Right);
   Report.addColumn("original", TextTable::AlignKind::Right);
   Report.addColumn("greedy", TextTable::AlignKind::Right);
-  Report.addColumn("tsp", TextTable::AlignKind::Right);
+  Report.addColumn(PrimaryName, TextTable::AlignKind::Right);
   Report.addColumn("removed", TextTable::AlignKind::Right);
   if (ComputeBounds)
     Report.addColumn("hk-bound", TextTable::AlignKind::Right);

@@ -37,10 +37,14 @@ ProgramProfile synthesizeProfile(const Program &Prog, uint64_t Seed,
 /// \p EmitDot), then a blank line and the penalty TextTable (with the
 /// hk-bound column under \p ComputeBounds). The returned string is the
 /// tool's entire stdout for a pipeline run over a named file.
+/// \p PrimaryName labels the primary-aligner column ("tsp" unless the
+/// run used PrimaryAligner::ExtTsp); the default keeps every existing
+/// caller — and the committed serve golden frames — byte-identical.
 std::string renderAlignmentReport(const Program &Prog,
                                   const ProgramProfile &Counts,
                                   const ProgramAlignment &Result,
-                                  bool ComputeBounds, bool EmitDot);
+                                  bool ComputeBounds, bool EmitDot,
+                                  const char *PrimaryName = "tsp");
 
 } // namespace balign
 

@@ -2,6 +2,7 @@
 
 #include "serve/Protocol.h"
 
+#include <bit>
 #include <cassert>
 #include <cerrno>
 #include <cstring>
@@ -203,7 +204,8 @@ std::string balign::encodeAlignRequest(const AlignRequest &Request) {
   Out.push_back(static_cast<char>(Request.Effort));
   Out.push_back(static_cast<char>(Request.OnError));
   uint8_t Flags = (Request.ComputeBounds ? 1 : 0) |
-                  (Request.HasProfile ? 2 : 0);
+                  (Request.HasProfile ? 2 : 0) |
+                  (Request.HasObjective ? 4 : 0);
   Out.push_back(static_cast<char>(Flags));
   Out.push_back(0); // Reserved; receivers require zero.
   putU32(Out, static_cast<uint32_t>(Request.CfgText.size()));
@@ -213,6 +215,14 @@ std::string balign::encodeAlignRequest(const AlignRequest &Request) {
     Out += Request.ProfileText;
   } else {
     putU32(Out, 0);
+  }
+  if (Request.HasObjective) {
+    Out.push_back(static_cast<char>(Request.Primary));
+    Out.push_back(static_cast<char>(Request.Objective));
+    putU32(Out, Request.ExtTspForwardWindow);
+    putU32(Out, Request.ExtTspBackwardWindow);
+    putU64(Out, std::bit_cast<uint64_t>(Request.ExtTspForwardWeight));
+    putU64(Out, std::bit_cast<uint64_t>(Request.ExtTspBackwardWeight));
   }
   return Out;
 }
@@ -231,12 +241,13 @@ bool balign::decodeAlignRequest(const std::string &Body, AlignRequest &Out,
     return fail(Error, "align request names an unknown effort policy");
   if (OnError > static_cast<uint8_t>(OnErrorPolicy::Skip))
     return fail(Error, "align request names an unknown on-error policy");
-  if (Flags & ~uint8_t(3))
+  if (Flags & ~uint8_t(7))
     return fail(Error, "align request sets unknown flag bits");
   Out.Effort = static_cast<EffortPolicy>(Effort);
   Out.OnError = static_cast<OnErrorPolicy>(OnError);
   Out.ComputeBounds = (Flags & 1) != 0;
   Out.HasProfile = (Flags & 2) != 0;
+  Out.HasObjective = (Flags & 4) != 0;
   if (!In.u32(CfgLen) || !In.bytes(CfgLen, Out.CfgText))
     return fail(Error, "align request CFG text is truncated");
   if (!In.u32(ProfLen) || !In.bytes(ProfLen, Out.ProfileText))
@@ -244,6 +255,33 @@ bool balign::decodeAlignRequest(const std::string &Body, AlignRequest &Out,
   if (!Out.HasProfile && ProfLen != 0)
     return fail(Error, "align request carries profile bytes without the "
                        "profile flag");
+  if (Out.HasObjective) {
+    uint8_t Primary = 0, Objective = 0;
+    uint64_t FwdBits = 0, BwdBits = 0;
+    if (!In.u8(Primary) || !In.u8(Objective) ||
+        !In.u32(Out.ExtTspForwardWindow) ||
+        !In.u32(Out.ExtTspBackwardWindow) || !In.u64(FwdBits) ||
+        !In.u64(BwdBits))
+      return fail(Error, "align request objective extension is truncated");
+    if (Primary > static_cast<uint8_t>(PrimaryAligner::ExtTsp))
+      return fail(Error, "align request names an unknown primary aligner");
+    if (Objective > static_cast<uint8_t>(ObjectiveKind::ExtTsp))
+      return fail(Error, "align request names an unknown objective");
+    if (Out.ExtTspForwardWindow < 1 || Out.ExtTspForwardWindow > (1u << 20) ||
+        Out.ExtTspBackwardWindow < 1 || Out.ExtTspBackwardWindow > (1u << 20))
+      return fail(Error, "align request Ext-TSP window is out of range");
+    Out.Primary = static_cast<PrimaryAligner>(Primary);
+    Out.Objective = static_cast<ObjectiveKind>(Objective);
+    Out.ExtTspForwardWeight = std::bit_cast<double>(FwdBits);
+    Out.ExtTspBackwardWeight = std::bit_cast<double>(BwdBits);
+    // NaN fails both comparisons, so this one test rejects NaN and
+    // every out-of-range (including infinite) weight at once.
+    if (!(Out.ExtTspForwardWeight >= 0.0 &&
+          Out.ExtTspForwardWeight <= 1024.0) ||
+        !(Out.ExtTspBackwardWeight >= 0.0 &&
+          Out.ExtTspBackwardWeight <= 1024.0))
+      return fail(Error, "align request Ext-TSP weight is out of range");
+  }
   if (!In.atEnd())
     return fail(Error, "align request has trailing bytes");
   return true;

@@ -110,6 +110,16 @@ struct Frame {
 /// One align request. Field-for-field this mirrors the one-shot
 /// align_tool flags that affect pipeline output, so a request and a CLI
 /// invocation over the same inputs produce byte-identical reports.
+///
+/// Flag bit 2 carries the objective extension (--aligner exttsp and its
+/// knobs): when set, an extension block
+///
+///   [u8 primary][u8 objective][u32 fwd window][u32 bwd window]
+///   [u64 fwd weight IEEE-754 bits][u64 bwd weight IEEE-754 bits]
+///
+/// follows the profile text. With the bit clear the body's byte layout
+/// is exactly the pre-extension one, so the committed golden frames and
+/// old clients keep working against a version-1 server unchanged.
 struct AlignRequest {
   uint64_t Seed = 1;         ///< --seed: root solver/profile seed.
   uint64_t Budget = 50000;   ///< --budget: synthetic-profile branches.
@@ -118,8 +128,19 @@ struct AlignRequest {
   OnErrorPolicy OnError = OnErrorPolicy::Abort;
   bool ComputeBounds = false; ///< --bounds.
   bool HasProfile = false;    ///< ProfileText is meaningful.
+  bool HasObjective = false;  ///< The objective extension block is present.
   std::string CfgText;        ///< The textual CFG program.
   std::string ProfileText;    ///< Optional textual profile.
+
+  /// The extension block; meaningful only under HasObjective. Defaults
+  /// mirror AlignmentOptions/MachineModel so an all-defaults block is a
+  /// no-op relative to an absent one.
+  PrimaryAligner Primary = PrimaryAligner::Tsp;
+  ObjectiveKind Objective = ObjectiveKind::ExtTsp;
+  uint32_t ExtTspForwardWindow = 1024;
+  uint32_t ExtTspBackwardWindow = 640;
+  double ExtTspForwardWeight = 0.1;
+  double ExtTspBackwardWeight = 0.1;
 };
 
 /// Serializes a frame to wire bytes (length prefix + header + body).

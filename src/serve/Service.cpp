@@ -38,6 +38,16 @@ Frame AlignService::handleAlign(const std::string &Body) const {
   Options.Effort = Req.Effort;
   Options.ComputeBounds = Req.ComputeBounds;
   Options.OnError = Req.OnError;
+  if (Req.HasObjective) {
+    // The objective extension mirrors --aligner exttsp and its knobs;
+    // the model fields feed the cache fingerprint exactly as the CLI's.
+    Options.Primary = Req.Primary;
+    Options.Objective = Req.Objective;
+    Options.Model.ExtTspForwardWindow = Req.ExtTspForwardWindow;
+    Options.Model.ExtTspBackwardWindow = Req.ExtTspBackwardWindow;
+    Options.Model.ExtTspForwardWeight = Req.ExtTspForwardWeight;
+    Options.Model.ExtTspBackwardWeight = Req.ExtTspBackwardWeight;
+  }
   if (Config.Clock)
     Options.Clock = Config.Clock;
 
@@ -51,7 +61,8 @@ Frame AlignService::handleAlign(const std::string &Body) const {
     return makeFrame(FrameType::AlignOk,
                      renderAlignmentReport(*Prog, *Counts, Result,
                                            Req.ComputeBounds,
-                                           /*EmitDot=*/false));
+                                           /*EmitDot=*/false,
+                                           primaryAlignerName(Options.Primary)));
   } catch (const AlignmentAborted &E) {
     return makeErrorFrame(FrameError::Aborted, E.what());
   } catch (const DeadlineExceeded &E) {

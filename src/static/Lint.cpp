@@ -199,6 +199,45 @@ size_t lintProfile(const Procedure &Proc, const ProcedureProfile &Profile,
   return 4;
 }
 
+/// lint.objective.window: the Ext-TSP objective hands out near-maximal
+/// credit whenever the executed blocks land within one forward window
+/// of each other. When a procedure's hot path already fits the window
+/// while the procedure as a whole does not, essentially any layout that
+/// groups the hot blocks ties on Ext-TSP score — the windowed objective
+/// has little left to discriminate, and the paper's fall-through
+/// objective is the sharper tool there. Advisory only (a Note): the
+/// layout is still correct, just the objective choice is questionable.
+/// Returns the number of check evaluations (always 1).
+size_t lintObjectiveWindow(const Procedure &Proc,
+                           const ProcedureProfile &Profile,
+                           const MachineModel &Model,
+                           DiagnosticEngine &Diags) {
+  uint64_t TotalBytes = 0, HotBytes = 0, HotBlocks = 0;
+  for (BlockId B = 0; B != Proc.numBlocks(); ++B) {
+    uint64_t Bytes = Proc.block(B).InstrCount * BytesPerInstr;
+    TotalBytes += Bytes;
+    if (Profile.BlockCounts[B] != 0) {
+      HotBytes += Bytes;
+      ++HotBlocks;
+    }
+  }
+  // Fire only when the note is informative: some blocks are hot, the
+  // procedure itself overflows the window (so there is layout freedom
+  // the window cannot see), yet the hot span fits inside it.
+  if (HotBlocks != 0 && TotalBytes > Model.ExtTspForwardWindow &&
+      HotBytes <= Model.ExtTspForwardWindow)
+    Diags.report(Severity::Note, CheckId::LintObjectiveWindow, PassName,
+                 DiagLocation::procedure(Proc.getName()),
+                 "hot path spans " + std::to_string(HotBytes) +
+                     " bytes and fits one Ext-TSP forward window (" +
+                     std::to_string(Model.ExtTspForwardWindow) +
+                     " bytes) while the procedure spans " +
+                     std::to_string(TotalBytes) +
+                     "; the windowed objective barely discriminates "
+                     "between layouts here");
+  return 1;
+}
+
 /// Machine-model screen: penalties configured inside-out make every
 /// layout comparison meaningless even on a perfect profile.
 size_t lintModel(const MachineModel &Model, DiagnosticEngine &Diags) {
@@ -293,6 +332,12 @@ LintResult balign::lintProgram(const Program &Prog,
     ProfileClass Class = ProfileClass::Consistent;
     Result.ChecksRun +=
         lintProcedure(Prog.proc(I), ProcProfile, Opts, Result.Diags, &Class);
+    // The objective-window advisory needs the profile (to find the hot
+    // span) and the model (for the window), so it lives at the program
+    // driver where both meet.
+    if (ProcProfile && Model && ProcProfile->shapeMatches(Prog.proc(I)))
+      Result.ChecksRun += lintObjectiveWindow(Prog.proc(I), *ProcProfile,
+                                              *Model, Result.Diags);
     if (Result.Profiled) {
       Result.ProcClasses.push_back(Class);
       Result.ProcNames.push_back(Prog.proc(I).getName());

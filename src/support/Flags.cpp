@@ -33,3 +33,43 @@ bool balign::flagUInt(const char *Flag, int Argc, char **Argv, int &I,
   Out = *N;
   return true;
 }
+
+bool balign::flagUIntInRange(const char *Flag, int Argc, char **Argv, int &I,
+                             uint64_t &Out, uint64_t Min, uint64_t Max) {
+  const char *V = flagValue(Flag, Argc, Argv, I);
+  if (!V)
+    return false;
+  std::optional<uint64_t> N = parseFlagInt(V, Max);
+  if (!N || *N < Min) {
+    std::fprintf(
+        stderr, "error: %s wants a decimal integer in [%llu, %llu], got '%s'\n",
+        Flag, static_cast<unsigned long long>(Min),
+        static_cast<unsigned long long>(Max), V);
+    return false;
+  }
+  Out = *N;
+  return true;
+}
+
+bool balign::flagDoublePair(const char *Flag, int Argc, char **Argv, int &I,
+                            double &OutA, double &OutB, double Max) {
+  const char *V = flagValue(Flag, Argc, Argv, I);
+  if (!V)
+    return false;
+  std::string_view Text(V);
+  size_t Comma = Text.find(',');
+  std::optional<double> A, B;
+  if (Comma != std::string_view::npos) {
+    A = parseFlagDouble(Text.substr(0, Comma));
+    B = parseFlagDouble(Text.substr(Comma + 1));
+  }
+  if (!A || !B || *A > Max || *B > Max) {
+    std::fprintf(stderr,
+                 "error: %s wants 'F,B' with decimals in [0, %g], got '%s'\n",
+                 Flag, Max, V);
+    return false;
+  }
+  OutA = *A;
+  OutB = *B;
+  return true;
+}

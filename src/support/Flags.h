@@ -37,6 +37,21 @@ const char *flagValue(const char *Flag, int Argc, char **Argv, int &I);
 bool flagUInt(const char *Flag, int Argc, char **Argv, int &I, uint64_t &Out,
               uint64_t Max = UINT64_MAX);
 
+/// Like flagUInt with a lower bound too: values outside [Min, Max] print
+/// "error: <flag> wants a decimal integer in [<min>, <max>], got '<value>'"
+/// and report failure.
+bool flagUIntInRange(const char *Flag, int Argc, char **Argv, int &I,
+                     uint64_t &Out, uint64_t Min, uint64_t Max);
+
+/// Consumes and strictly parses a "<a>,<b>" pair of non-negative decimal
+/// numbers (parseFlagDouble literals, each <= \p Max) — the shape of
+/// --exttsp-weights. On failure prints
+/// "error: <flag> wants 'F,B' with decimals in [0, <max>], got '<value>'"
+/// (or the missing-value error) and returns false; the outputs are
+/// written only on success.
+bool flagDoublePair(const char *Flag, int Argc, char **Argv, int &I,
+                    double &OutA, double &OutB, double Max);
+
 } // namespace balign
 
 #endif // BALIGN_SUPPORT_FLAGS_H

@@ -26,3 +26,25 @@ std::optional<uint64_t> balign::parseFlagInt(std::string_view Text,
     return std::nullopt;
   return Value;
 }
+
+std::optional<double> balign::parseFlagDouble(std::string_view Text) {
+  size_t Dot = Text.find('.');
+  std::string_view Whole = Text.substr(0, Dot);
+  std::optional<uint64_t> Int = parseFlagInt(Whole);
+  if (!Int)
+    return std::nullopt;
+  double Value = static_cast<double>(*Int);
+  if (Dot == std::string_view::npos)
+    return Value;
+  std::string_view Frac = Text.substr(Dot + 1);
+  if (Frac.empty())
+    return std::nullopt; // "1." is not a complete literal.
+  double Scale = 1.0;
+  for (char C : Frac) {
+    if (C < '0' || C > '9')
+      return std::nullopt;
+    Scale /= 10.0;
+    Value += static_cast<double>(C - '0') * Scale;
+  }
+  return Value;
+}

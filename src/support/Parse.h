@@ -33,6 +33,13 @@ std::optional<uint64_t> parseFlagInt(std::string_view Text);
 /// flags stored in narrower types, e.g. a thread count).
 std::optional<uint64_t> parseFlagInt(std::string_view Text, uint64_t Max);
 
+/// Parses \p Text as a non-negative decimal number with an optional
+/// fractional part: digits, optionally followed by '.' and more digits
+/// ("0", "1.5", "0.25"). As with parseFlagInt, nothing else is accepted:
+/// no signs, whitespace, exponents, leading/trailing dots, or suffixes —
+/// NaN and infinity are unspellable by construction.
+std::optional<double> parseFlagDouble(std::string_view Text);
+
 } // namespace balign
 
 #endif // BALIGN_SUPPORT_PARSE_H

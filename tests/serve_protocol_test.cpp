@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include <csignal>
+#include <limits>
 #include <sys/socket.h>
 #include <thread>
 #include <unistd.h>
@@ -220,6 +221,92 @@ TEST(ServeProtocolTest, AlignRequestStrictness) {
   Bad = encodeAlignRequest(WithProf);
   Bad[22] &= ~char(2);
   EXPECT_FALSE(decodeAlignRequest(Bad, Out, nullptr));
+}
+
+TEST(ServeProtocolTest, ObjectiveExtensionRoundTrip) {
+  AlignRequest In = demoRequest();
+  In.HasObjective = true;
+  In.Primary = PrimaryAligner::ExtTsp;
+  In.Objective = ObjectiveKind::Fallthrough;
+  In.ExtTspForwardWindow = 2048;
+  In.ExtTspBackwardWindow = 512;
+  In.ExtTspForwardWeight = 0.375;
+  In.ExtTspBackwardWeight = 0.0625;
+
+  AlignRequest Out;
+  std::string Error;
+  ASSERT_TRUE(decodeAlignRequest(encodeAlignRequest(In), Out, &Error))
+      << Error;
+  EXPECT_TRUE(Out.HasObjective);
+  EXPECT_EQ(In.Primary, Out.Primary);
+  EXPECT_EQ(In.Objective, Out.Objective);
+  EXPECT_EQ(In.ExtTspForwardWindow, Out.ExtTspForwardWindow);
+  EXPECT_EQ(In.ExtTspBackwardWindow, Out.ExtTspBackwardWindow);
+  EXPECT_EQ(In.ExtTspForwardWeight, Out.ExtTspForwardWeight);
+  EXPECT_EQ(In.ExtTspBackwardWeight, Out.ExtTspBackwardWeight);
+}
+
+TEST(ServeProtocolTest, ObjectiveExtensionDoesNotDisturbLegacyLayout) {
+  // With the extension flag clear, the encoded bytes are exactly the
+  // pre-extension layout — that is what keeps the committed golden
+  // frames and old clients valid against this server.
+  AlignRequest Legacy = demoRequest();
+  AlignRequest WithDefaults = demoRequest();
+  WithDefaults.Primary = PrimaryAligner::ExtTsp; // Ignored: flag clear.
+  EXPECT_EQ(encodeAlignRequest(Legacy), encodeAlignRequest(WithDefaults));
+
+  AlignRequest Extended = demoRequest();
+  Extended.HasObjective = true;
+  std::string Ext = encodeAlignRequest(Extended);
+  std::string Plain = encodeAlignRequest(Legacy);
+  // The extension strictly appends (plus the flag bit): same prefix.
+  ASSERT_EQ(Plain.size() + 26, Ext.size());
+  EXPECT_EQ(Plain.substr(0, 22), Ext.substr(0, 22)); // Up to the flags.
+  EXPECT_EQ(Plain.substr(23), Ext.substr(23, Plain.size() - 23));
+}
+
+TEST(ServeProtocolTest, ObjectiveExtensionRejectsBadValues) {
+  AlignRequest Base = demoRequest();
+  Base.HasObjective = true;
+  AlignRequest Out;
+
+  // Every truncation of the extension block fails.
+  std::string Full = encodeAlignRequest(Base);
+  for (size_t Cut = 1; Cut <= 26; ++Cut)
+    EXPECT_FALSE(decodeAlignRequest(Full.substr(0, Full.size() - Cut), Out,
+                                    nullptr))
+        << "cut " << Cut;
+
+  // Unknown primary / objective enum values.
+  std::string Bad = Full;
+  Bad[Full.size() - 26] = 2;
+  EXPECT_FALSE(decodeAlignRequest(Bad, Out, nullptr));
+  Bad = Full;
+  Bad[Full.size() - 25] = 7;
+  EXPECT_FALSE(decodeAlignRequest(Bad, Out, nullptr));
+
+  // Out-of-range windows.
+  AlignRequest ZeroWin = Base;
+  ZeroWin.ExtTspForwardWindow = 0;
+  EXPECT_FALSE(decodeAlignRequest(encodeAlignRequest(ZeroWin), Out, nullptr));
+  AlignRequest HugeWin = Base;
+  HugeWin.ExtTspBackwardWindow = (1u << 20) + 1;
+  EXPECT_FALSE(decodeAlignRequest(encodeAlignRequest(HugeWin), Out, nullptr));
+
+  // Negative, oversized, and NaN weights (unspellable by the CLI, but
+  // raw frames can carry any bit pattern).
+  AlignRequest NegW = Base;
+  NegW.ExtTspForwardWeight = -0.5;
+  EXPECT_FALSE(decodeAlignRequest(encodeAlignRequest(NegW), Out, nullptr));
+  AlignRequest BigW = Base;
+  BigW.ExtTspBackwardWeight = 1025.0;
+  EXPECT_FALSE(decodeAlignRequest(encodeAlignRequest(BigW), Out, nullptr));
+  AlignRequest NanW = Base;
+  NanW.ExtTspForwardWeight = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(decodeAlignRequest(encodeAlignRequest(NanW), Out, nullptr));
+  AlignRequest InfW = Base;
+  InfW.ExtTspBackwardWeight = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(decodeAlignRequest(encodeAlignRequest(InfW), Out, nullptr));
 }
 
 TEST(ServeProtocolTest, DecodeSurvivesRandomBytes) {
