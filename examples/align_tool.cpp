@@ -18,7 +18,7 @@
 //              [--trace FILE] [--metrics] [--metrics-json FILE]
 //              [--lint[=warn|err]] [--lint-json FILE]
 //              [--effort-policy uniform|scaled|scaled-cold-greedy]
-//              [--serve SOCK|-] [--serve-queue N]
+//              [--serve SOCK|-] [--serve-queue N] [--drain-timeout MS]
 //
 // With no file argument a built-in demo program is used, so the tool is
 // runnable out of the box.
@@ -43,6 +43,9 @@
 //      (the default policy)
 //   3  --batch finished, but some entries failed and were skipped past
 //      (including entries failing --lint=err)
+//   4  --serve shut down by a forced drain: a second SIGTERM/SIGINT or
+//      an expired --drain-timeout abandoned in-flight requests (the
+//      cache session still flushed)
 //
 // --lint runs the balign-lint static CFG/profile checks before aligning.
 // All lint output goes to stderr (and --lint-json FILE), so stdout stays
@@ -65,6 +68,7 @@
 #include "profile/ProfileIO.h"
 #include "profile/Trace.h"
 #include "robust/FaultInjector.h"
+#include "robust/Journal.h"
 #include "serve/Oneshot.h"
 #include "serve/Server.h"
 #include "static/EffortPolicy.h"
@@ -161,6 +165,7 @@ struct ToolOptions {
   // balign-serve flags.
   std::string ServePath;    ///< --serve: socket path, or "-" for stdio.
   uint64_t ServeQueue = 0;  ///< --serve-queue: align budget (0 = inf).
+  uint64_t DrainTimeoutMs = 5000; ///< --drain-timeout: graceful budget.
 
   /// True when any shield flag was given; forces the pipeline path and
   /// enables the stderr shield report.
@@ -345,6 +350,9 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Options) {
     } else if (Arg == "--serve-queue") {
       if (!needInt("--serve-queue", Options.ServeQueue))
         return false;
+    } else if (Arg == "--drain-timeout") {
+      if (!needInt("--drain-timeout", Options.DrainTimeoutMs))
+        return false;
     } else if (Arg == "--dot") {
       Options.EmitDot = true;
     } else if (Arg == "--bounds") {
@@ -450,10 +458,17 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Options) {
                   "in flight with a\n"
                   "                structured rejection instead of "
                   "queueing (0 = no limit)\n"
+                  "  --drain-timeout MS  on SIGTERM/SIGINT wait MS for "
+                  "in-flight requests\n"
+                  "                before forcing shutdown (default "
+                  "5000); a second signal\n"
+                  "                forces it immediately\n"
                   "exit codes: 0 success, 1 usage/input/verify/lint "
                   "error, 2 aborted under\n"
                   "--on-error=abort, 3 batch finished with failed "
-                  "entries\n");
+                  "entries, 4 a serve drain\n"
+                  "was forced (in-flight work abandoned; the cache was "
+                  "still flushed)\n");
       return false;
     } else if (!Arg.empty() && Arg[0] != '-') {
       Options.File = Arg;
@@ -609,10 +624,14 @@ void reportShieldOutcome(const ProgramAlignment &Result, size_t NumProcs) {
 
 /// Cache/batch-mode alignment of one program: verify first when asked
 /// (which also warms the cache through the store path), then the
-/// pipeline report.
+/// pipeline report. \p AnySkipped (when given) reports whether any
+/// procedure kept its original layout under --on-error skip — the
+/// checkpoint journal must not record such a program as done, or a
+/// resumed batch would never revisit the skipped work.
 bool alignOneProgram(const Program &Prog, const ProgramProfile &Counts,
                      const ToolOptions &Options,
-                     const AlignmentOptions &AlignOptions) {
+                     const AlignmentOptions &AlignOptions,
+                     bool *AnySkipped = nullptr) {
   if (Options.Verify != VerifyLevel::None &&
       !runVerified(Prog, Counts, Options, AlignOptions))
     return false;
@@ -620,6 +639,8 @@ bool alignOneProgram(const Program &Prog, const ProgramProfile &Counts,
   reportPipelineAlignment(Prog, Counts, Result, Options, AlignOptions);
   if (Options.shieldActive())
     reportShieldOutcome(Result, Prog.numProcedures());
+  if (AnySkipped)
+    *AnySkipped = Result.Failures.countSkipped() != 0;
   return true;
 }
 
@@ -646,14 +667,30 @@ int runBatch(const ToolOptions &Options, AlignmentOptions &AlignOptions) {
   // up front, and every completed program is appended as it finishes, so
   // a killed batch restarts where it left off. The file is deliberately
   // kept on success — rerunning a finished batch is then a cheap no-op,
-  // and removing it is the explicit way to force a full rerun.
+  // and removing it is the explicit way to force a full rerun. The
+  // journal is checksummed and fsync'd per record: a kill -9 (or power
+  // loss) mid-append leaves at most one torn tail record, which open()
+  // salvages by truncation — never a half-recorded program counted as
+  // done. Pre-sentinel plain-line checkpoints are migrated in place.
+  AppendJournal Checkpoint;
   std::set<std::string> Done;
   if (!Options.CheckpointFile.empty()) {
-    std::ifstream Ck(Options.CheckpointFile);
-    std::string DoneLine;
-    while (std::getline(Ck, DoneLine))
-      if (!DoneLine.empty())
-        Done.insert(DoneLine);
+    std::string JournalError;
+    if (!Checkpoint.open(Options.CheckpointFile, &JournalError)) {
+      std::fprintf(stderr, "error: cannot open checkpoint '%s': %s\n",
+                   Options.CheckpointFile.c_str(), JournalError.c_str());
+      return 1;
+    }
+    const JournalStats &Stats = Checkpoint.stats();
+    if (Stats.RecoveredTail || Stats.MigratedLegacy)
+      std::fprintf(stderr, "note: checkpoint '%s' recovered (%s)\n",
+                   Options.CheckpointFile.c_str(),
+                   Stats.summary().c_str());
+    // Duplicate records (a crash between append and the next run's
+    // resume check) are harmless: the set dedupes them.
+    for (const std::string &Record : Checkpoint.records())
+      if (!Record.empty())
+        Done.insert(Record);
   }
 
   size_t Printed = 0, Attempted = 0, Failed = 0, Resumed = 0;
@@ -720,21 +757,31 @@ int runBatch(const ToolOptions &Options, AlignmentOptions &AlignOptions) {
     if (Printed++)
       std::printf("\n");
     std::printf("== %s ==\n", ProgramFile.c_str());
-    if (!alignOneProgram(*Prog, *Counts, Options, AlignOptions)) {
+    bool AnySkipped = false;
+    if (!alignOneProgram(*Prog, *Counts, Options, AlignOptions,
+                         &AnySkipped)) {
       ++Failed;
       std::fprintf(stderr, "error: batch entry '%s': verification "
                    "failed; continuing\n",
                    ProgramFile.c_str());
       continue;
     }
-    if (!Options.CheckpointFile.empty()) {
-      std::ofstream Ck(Options.CheckpointFile, std::ios::app);
-      if (Ck)
-        Ck << ProgramFile << "\n";
-      else
-        std::fprintf(stderr, "warning: cannot append to checkpoint "
-                     "'%s'\n",
-                     Options.CheckpointFile.c_str());
+    if (Checkpoint.isOpen()) {
+      // Under --on-error skip a program whose procedures were skipped
+      // is *not* done: journaling it would make the resume skip work
+      // that was never performed.
+      if (AnySkipped)
+        std::fprintf(stderr, "note: '%s' had skipped procedures; not "
+                     "checkpointing it as done\n",
+                     ProgramFile.c_str());
+      else {
+        std::string AppendError;
+        if (!Checkpoint.append(ProgramFile, &AppendError))
+          std::fprintf(stderr, "warning: cannot append to checkpoint "
+                       "'%s': %s\n",
+                       Options.CheckpointFile.c_str(),
+                       AppendError.c_str());
+      }
     }
   }
   if (Attempted == 0 && Resumed == 0)
@@ -863,8 +910,13 @@ int main(int Argc, char **Argv) {
         Serve.Threads = Options.Threads;
         Serve.QueueBudget = Options.ServeQueue;
         Serve.DefaultDeadlineMs = Options.DeadlineMs;
+        Serve.DrainTimeoutMs = Options.DrainTimeoutMs;
         Serve.CacheStatsFn = [&Cache] { return Cache.stats(); };
         AlignServer Server(AlignOptions, Serve);
+        // balign-sentinel: SIGTERM/SIGINT request a graceful drain
+        // (in-flight requests finish, cache flushes below); a second
+        // signal or an expired --drain-timeout forces it (exit 4).
+        Server.installSignalDrain();
         Exit = Options.ServePath == "-"
                    ? Server.serveStdio()
                    : Server.serveUnixSocket(Options.ServePath);

@@ -13,12 +13,17 @@
 //                 [--budget N] [--bounds] [--deadline MS]
 //                 [--on-error abort|fallback|skip]
 //                 [--effort-policy uniform|scaled|scaled-cold-greedy]
+//                 [--batch LIST] [--retry N] [--retry-backoff MS]
 //                 [--ping] [--metrics] [--shutdown]
 //
 // Request order on one connection: ping first (when asked), then the
-// align for file.cfg (when given), then metrics, then shutdown. Exit
-// codes: 0 success, 1 usage/connect/transport error, 2 the server
-// answered an align with a structured error frame.
+// align for file.cfg (or each line of --batch LIST), then metrics,
+// then shutdown. --retry N resends transport-failed requests up to N
+// attempts with deterministic doubling backoff — align resends are
+// idempotent (byte-identical on the wire), so a server restart
+// mid-batch is invisible. Exit codes: 0 success, 1 usage or local
+// file error, 2 a connect/transport failure or a structured server
+// error frame (one-line diagnostic on stderr either way).
 //
 //===--------------------------------------------------------------------===//
 
@@ -31,6 +36,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace balign;
 
@@ -40,7 +46,10 @@ struct ClientOptions {
   std::string Socket;
   std::string File;
   std::string ProfileFile;
+  std::string BatchFile;
   AlignRequest Request;
+  uint64_t Retry = 1;          ///< Total attempts per request.
+  uint64_t RetryBackoffMs = 50;
   bool Ping = false;
   bool Metrics = false;
   bool Shutdown = false;
@@ -136,6 +145,17 @@ bool parseArgs(int Argc, char **Argv, ClientOptions &Options) {
                           Options.Request.ExtTspBackwardWeight, 1024.0))
         return false;
       Options.Request.HasObjective = true;
+    } else if (Arg == "--batch") {
+      const char *V = needValue("--batch");
+      if (!V)
+        return false;
+      Options.BatchFile = V;
+    } else if (Arg == "--retry") {
+      if (!flagUIntInRange("--retry", Argc, Argv, I, Options.Retry, 1, 100))
+        return false;
+    } else if (Arg == "--retry-backoff") {
+      if (!needInt("--retry-backoff", Options.RetryBackoffMs, 60000))
+        return false;
     } else if (Arg == "--ping") {
       Options.Ping = true;
     } else if (Arg == "--metrics") {
@@ -151,14 +171,19 @@ bool parseArgs(int Argc, char **Argv, ClientOptions &Options) {
                   "[--aligner tsp|exttsp]\n"
                   "                     [--objective fallthrough|exttsp] "
                   "[--exttsp-window N]\n"
-                  "                     [--exttsp-weights F,B] [--ping] "
+                  "                     [--exttsp-weights F,B] "
+                  "[--batch LIST] [--retry N]\n"
+                  "                     [--retry-backoff MS] [--ping] "
                   "[--metrics] [--shutdown]\n"
                   "Sends requests to an `align_tool --serve SOCK` server; "
                   "align reports go to\n"
-                  "stdout byte-identical to one-shot align_tool. Exit: 0 "
-                  "ok, 1 usage/transport\n"
-                  "error, 2 the server answered align with an error "
-                  "frame.\n");
+                  "stdout byte-identical to one-shot align_tool. --batch "
+                  "LIST aligns every .cfg\n"
+                  "named in LIST (one path per line); --retry N resends "
+                  "transport-failed\n"
+                  "requests idempotently. Exit: 0 ok, 1 usage or local "
+                  "file error, 2 a\n"
+                  "connect/transport failure or a server error frame.\n");
       return false;
     } else if (!Arg.empty() && Arg[0] != '-') {
       if (Options.Socket.empty())
@@ -179,10 +204,15 @@ bool parseArgs(int Argc, char **Argv, ClientOptions &Options) {
     std::fprintf(stderr, "error: no server socket given (see --help)\n");
     return false;
   }
-  if (Options.File.empty() && !Options.Ping && !Options.Metrics &&
-      !Options.Shutdown) {
-    std::fprintf(stderr, "error: nothing to do: give a file.cfg, --ping, "
-                 "--metrics, or --shutdown\n");
+  if (Options.File.empty() && Options.BatchFile.empty() && !Options.Ping &&
+      !Options.Metrics && !Options.Shutdown) {
+    std::fprintf(stderr, "error: nothing to do: give a file.cfg, --batch, "
+                 "--ping, --metrics, or --shutdown\n");
+    return false;
+  }
+  if (!Options.File.empty() && !Options.BatchFile.empty()) {
+    std::fprintf(stderr, "error: give either a file.cfg or --batch, "
+                 "not both\n");
     return false;
   }
   return true;
@@ -207,11 +237,19 @@ int main(int Argc, char **Argv) {
   if (!parseArgs(Argc, Argv, Options))
     return 1;
 
+  RetryPolicy Policy;
+  Policy.MaxAttempts = static_cast<unsigned>(Options.Retry);
+  Policy.InitialBackoffMs = Options.RetryBackoffMs;
+  Policy.MaxBackoffMs = Options.RetryBackoffMs * 16;
+
   ServeClient Client;
   std::string Error;
-  if (!Client.connectUnix(Options.Socket, &Error)) {
+  // ECONNREFUSED (and every other connect failure) is exit code 2 with
+  // a one-line diagnostic: the distinct code lets a batch driver tell
+  // "server unreachable" from its own usage errors.
+  if (!Client.connectUnixRetry(Options.Socket, Policy, &Error)) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());
-    return 1;
+    return 2;
   }
 
   if (Options.Ping) {
@@ -220,38 +258,49 @@ int main(int Argc, char **Argv) {
                      &Error) ||
         Response.Type != FrameType::Pong || Response.Body != "balign") {
       std::fprintf(stderr, "error: ping failed: %s\n", Error.c_str());
-      return 1;
+      return 2;
     }
     std::fprintf(stderr, "pong\n");
   }
 
-  if (!Options.File.empty()) {
-    if (!readFile(Options.File, Options.Request.CfgText))
+  // Collect the align workload: the single positional file, or every
+  // line of --batch LIST.
+  std::vector<std::string> AlignFiles;
+  if (!Options.File.empty())
+    AlignFiles.push_back(Options.File);
+  if (!Options.BatchFile.empty()) {
+    std::ifstream List(Options.BatchFile);
+    if (!List) {
+      std::fprintf(stderr, "error: cannot open '%s'\n",
+                   Options.BatchFile.c_str());
+      return 1;
+    }
+    std::string Line;
+    while (std::getline(List, Line))
+      if (!Line.empty())
+        AlignFiles.push_back(Line);
+  }
+
+  for (const std::string &File : AlignFiles) {
+    AlignRequest Request = Options.Request;
+    if (!readFile(File, Request.CfgText))
       return 1;
     if (!Options.ProfileFile.empty()) {
-      if (!readFile(Options.ProfileFile, Options.Request.ProfileText))
+      if (!readFile(Options.ProfileFile, Request.ProfileText))
         return 1;
-      Options.Request.HasProfile = true;
+      Request.HasProfile = true;
     }
-    Frame Response;
-    if (!Client.call(makeFrame(FrameType::Align,
-                               encodeAlignRequest(Options.Request)),
-                     Response, &Error)) {
-      std::fprintf(stderr, "error: align failed: %s\n", Error.c_str());
-      return 1;
-    }
-    if (Response.Type != FrameType::AlignOk) {
-      FrameError Code = FrameError::None;
-      std::string Message;
-      if (decodeErrorFrame(Response, Code, Message))
-        std::fprintf(stderr, "error: server: %s: %s\n",
-                     frameErrorName(Code), Message.c_str());
-      else
-        std::fprintf(stderr, "error: unexpected response frame '%s'\n",
-                     frameTypeName(Response.Type));
+    std::string Report;
+    // Transport failures mid-call (the server died under us) reconnect
+    // and resend the byte-identical request; a structured server error
+    // is final either way.
+    if (!Client.alignWithRetry(Options.Socket, Request, Report, Policy,
+                               &Error)) {
+      std::fprintf(stderr, "error: align '%s' failed: %s\n", File.c_str(),
+                   Error.c_str());
       return 2;
     }
-    std::fwrite(Response.Body.data(), 1, Response.Body.size(), stdout);
+    std::fwrite(Report.data(), 1, Report.size(), stdout);
   }
 
   if (Options.Metrics) {
@@ -259,7 +308,7 @@ int main(int Argc, char **Argv) {
     if (!Client.call(makeFrame(FrameType::Metrics), Response, &Error) ||
         Response.Type != FrameType::MetricsOk) {
       std::fprintf(stderr, "error: metrics failed: %s\n", Error.c_str());
-      return 1;
+      return 2;
     }
     std::fwrite(Response.Body.data(), 1, Response.Body.size(), stdout);
   }
@@ -269,7 +318,7 @@ int main(int Argc, char **Argv) {
     if (!Client.call(makeFrame(FrameType::Shutdown), Response, &Error) ||
         Response.Type != FrameType::ShutdownOk) {
       std::fprintf(stderr, "error: shutdown failed: %s\n", Error.c_str());
-      return 1;
+      return 2;
     }
     std::fprintf(stderr, "server shutting down\n");
   }

@@ -4,6 +4,7 @@
 
 #include "align/Penalty.h"
 #include "analysis/Diagnostics.h"
+#include "robust/CrashInjector.h"
 #include "robust/FaultInjector.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
@@ -332,6 +333,10 @@ ProcedureTask alignOneProcedure(const Procedure &Proc,
     // isolation boundary (not in the thread pool, which knows nothing
     // of procedures) so a firing task degrades like any other failure.
     FaultInjector::instance().throwIfFault(FaultSite::PoolTask);
+    // balign-sentinel crash site: die inside a per-procedure task — the
+    // chaos harness proves a kill mid-batch loses only unjournaled
+    // programs, never the cache or checkpoint already persisted.
+    CrashInjector::instance().crashPoint(CrashSite::PoolTask);
     if (Options.RunDeadline)
       Options.RunDeadline->check("whole-run alignment");
     size_t Cities = Proc.numBlocks() + 1; // Blocks + the dummy city.

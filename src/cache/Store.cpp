@@ -4,16 +4,20 @@
 
 #include "align/Penalty.h"
 #include "analysis/Verifier.h"
+#include "robust/CrashInjector.h"
+#include "robust/Durability.h"
 #include "robust/FaultInjector.h"
 #include "support/Timer.h"
 #include "trace/Scope.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 
+#include <fcntl.h>
 #include <unistd.h>
 
 using namespace balign;
@@ -33,6 +37,21 @@ constexpr uint32_t MaxReasonablePayload = 64u << 20;
 //===--------------------------------------------------------------------===//
 // Little-endian byte (de)serialization of ProcedureAlignment payloads.
 //===--------------------------------------------------------------------===//
+
+/// write(2) all of it, absorbing EINTR and short writes.
+bool writeAll(int Fd, const uint8_t *Data, size_t Size) {
+  while (Size != 0) {
+    ssize_t N = ::write(Fd, Data, Size);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += N;
+    Size -= static_cast<size_t>(N);
+  }
+  return true;
+}
 
 void putU32(std::vector<uint8_t> &Out, uint32_t V) {
   for (int I = 0; I != 4; ++I)
@@ -490,16 +509,39 @@ bool AlignmentCache::flush(std::string *Error) {
                             "': " + Ec.message();
           return false;
         }
-        {
-          std::ofstream Out(TmpPath, std::ios::binary | std::ios::trunc);
-          if (!Out ||
-              !Out.write(reinterpret_cast<const char *>(File.data()),
-                         static_cast<std::streamsize>(File.size()))) {
-            if (AttemptError)
-              *AttemptError = "cannot write '" + TmpPath + "'";
-            return false;
-          }
+        int TmpFd = ::open(TmpPath.c_str(),
+                           O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+        if (TmpFd < 0) {
+          if (AttemptError)
+            *AttemptError = "cannot open '" + TmpPath + "': " +
+                            std::strerror(errno);
+          return false;
         }
+        // balign-sentinel crash site: die with the tmp file half written.
+        // The half-file carries the tmp suffix, so the live store under
+        // the final name is untouched and the next run ignores the husk.
+        size_t Half = File.size() / 2;
+        bool Written = writeAll(TmpFd, File.data(), Half);
+        if (Written)
+          CrashInjector::instance().crashPoint(CrashSite::CacheTmpWrite);
+        Written = Written &&
+                  writeAll(TmpFd, File.data() + Half, File.size() - Half);
+        // fsync before rename: without it the rename can land while the
+        // tmp file's data is still only in the page cache, and a power
+        // cut then leaves a torn file under the *final* name.
+        if (Written && Config.Durable == Durability::Full)
+          Written = fsyncFd(TmpFd);
+        ::close(TmpFd);
+        if (!Written) {
+          std::filesystem::remove(TmpPath, Ec);
+          if (AttemptError)
+            *AttemptError = "cannot write '" + TmpPath + "': " +
+                            std::strerror(errno);
+          return false;
+        }
+        // balign-sentinel crash site: tmp file durable, rename not yet
+        // issued — the old store (if any) must still load cleanly.
+        CrashInjector::instance().crashPoint(CrashSite::CachePreRename);
         std::filesystem::rename(TmpPath, Dir + "/" + StoreFileName, Ec);
         if (Ec) {
           std::filesystem::remove(TmpPath, Ec);
@@ -508,6 +550,12 @@ bool AlignmentCache::flush(std::string *Error) {
                             "': " + Ec.message();
           return false;
         }
+        // balign-sentinel crash site: rename issued but the directory
+        // not yet fsync'd — either the old or the new store is visible,
+        // both complete.
+        CrashInjector::instance().crashPoint(CrashSite::CachePostRename);
+        if (Config.Durable == Durability::Full)
+          fsyncParentDirectory(Dir + "/" + StoreFileName); // Best effort.
         return true;
       },
       &FlushError, Config.RetrySleep);

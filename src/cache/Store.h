@@ -43,6 +43,7 @@
 
 #include "align/Pipeline.h"
 #include "cache/Fingerprint.h"
+#include "robust/Durability.h"
 #include "robust/Retry.h"
 
 #include <cstdint>
@@ -93,6 +94,12 @@ struct AlignmentCacheConfig {
   /// process is killed — set this so a crash loses at most N results.
   size_t FlushEveryStores = 0;
 
+  /// balign-sentinel: Full fsyncs the tmp file before the rename and
+  /// the cache directory after it, so a flush that returned true
+  /// survives kill -9 / power loss. Relaxed keeps the old
+  /// atomic-against-readers-only behavior for throwaway stores.
+  Durability Durable = Durability::Full;
+
   /// balign-shield: disk reads and writes retry transient failures with
   /// bounded exponential backoff before giving up.
   RetryPolicy DiskRetry;
@@ -136,7 +143,9 @@ public:
   /// Writes the store file (disk mode; a no-op returning true in memory
   /// mode): serializes to `balign.cache.tmp.<pid>` in the cache
   /// directory, then renames over the store, so readers never observe a
-  /// partial file. Returns false and fills \p Error on I/O failure.
+  /// partial file. Under Durability::Full the tmp file is fsync'd before
+  /// the rename and the directory after it, so success means the store
+  /// survives kill -9. Returns false and fills \p Error on I/O failure.
   bool flush(std::string *Error = nullptr);
 
   /// Snapshot of the counters.

@@ -23,6 +23,7 @@
 #ifndef BALIGN_ROBUST_DEADLINE_H
 #define BALIGN_ROBUST_DEADLINE_H
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <stdexcept>
@@ -36,22 +37,24 @@ using ClockFn = std::function<uint64_t()>;
 /// The production clock: std::chrono::steady_clock in milliseconds.
 uint64_t steadyClockMs();
 
-/// A hand-cranked clock for deterministic tests.
+/// A hand-cranked clock for deterministic tests. Atomic because a test
+/// cranks it from one thread while server-side watchers (the serve
+/// watchdog, a drain's deadline poll) read it from theirs.
 class ManualClock {
 public:
   explicit ManualClock(uint64_t StartMs = 0) : NowMs(StartMs) {}
 
-  void advance(uint64_t Ms) { NowMs += Ms; }
-  void set(uint64_t Ms) { NowMs = Ms; }
-  uint64_t now() const { return NowMs; }
+  void advance(uint64_t Ms) { NowMs.fetch_add(Ms); }
+  void set(uint64_t Ms) { NowMs.store(Ms); }
+  uint64_t now() const { return NowMs.load(); }
 
   /// The ClockFn view; the clock must outlive it.
   ClockFn fn() {
-    return [this] { return NowMs; };
+    return [this] { return NowMs.load(); };
   }
 
 private:
-  uint64_t NowMs;
+  std::atomic<uint64_t> NowMs;
 };
 
 /// Thrown by budget-aware stages when their deadline expires; caught at

@@ -1,0 +1,32 @@
+//===- robust/Durability.cpp ----------------------------------------------===//
+
+#include "robust/Durability.h"
+
+#include <cerrno>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+using namespace balign;
+
+bool balign::fsyncFd(int Fd) {
+  int Rc;
+  do {
+    Rc = ::fsync(Fd);
+  } while (Rc != 0 && errno == EINTR);
+  return Rc == 0;
+}
+
+bool balign::fsyncParentDirectory(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  std::string Dir = Slash == std::string::npos ? std::string(".")
+                                               : Path.substr(0, Slash);
+  if (Dir.empty())
+    Dir = "/";
+  int Fd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (Fd < 0)
+    return false;
+  bool Ok = fsyncFd(Fd);
+  ::close(Fd);
+  return Ok;
+}

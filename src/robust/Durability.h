@@ -1,0 +1,45 @@
+//===- robust/Durability.h - fsync policy and primitives ------------------===//
+//
+// Part of the balign project (PLDI 1997 branch-alignment reproduction).
+//
+//===--------------------------------------------------------------------===//
+///
+/// \file
+/// The balign-sentinel durability policy and the two fsync primitives
+/// the persistence layers share. `rename` alone is atomic against
+/// concurrent readers but not against power loss: without an fsync of
+/// the source file first, the rename can land while the file's *data*
+/// is still only in the page cache, leaving a torn file under the final
+/// name; without an fsync of the containing directory after, the rename
+/// itself can be lost. Durability::Full pays both fsyncs;
+/// Durability::Relaxed skips them for throwaway stores (benchmarks,
+/// tests that measure flush cost) where a crash may legitimately lose
+/// the file — never a default for user data.
+///
+//===--------------------------------------------------------------------===//
+
+#ifndef BALIGN_ROBUST_DURABILITY_H
+#define BALIGN_ROBUST_DURABILITY_H
+
+#include <cstdint>
+#include <string>
+
+namespace balign {
+
+/// How hard persistence code must try to survive `kill -9` / power loss.
+enum class Durability : uint8_t {
+  Relaxed, ///< No fsync: atomic against readers, not against crashes.
+  Full,    ///< fsync file data before rename and the directory after.
+};
+
+/// fsync(2) on \p Fd; returns false (leaving errno set) on failure.
+bool fsyncFd(int Fd);
+
+/// Opens and fsyncs the directory containing \p Path (or \p Path itself
+/// when it already names a directory is the caller's business — this
+/// always syncs the parent). Returns false on open/fsync failure.
+bool fsyncParentDirectory(const std::string &Path);
+
+} // namespace balign
+
+#endif // BALIGN_ROBUST_DURABILITY_H

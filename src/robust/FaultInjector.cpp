@@ -59,6 +59,10 @@ const char *balign::faultSiteName(FaultSite Site) {
     return "serve.frame";
   case FaultSite::AlignChain:
     return "align.chain";
+  case FaultSite::JournalAppend:
+    return "journal.append";
+  case FaultSite::ClientConnect:
+    return "client.connect";
   }
   return "?";
 }

@@ -67,9 +67,11 @@ enum class FaultSite : uint8_t {
   CacheFlush,   ///< cache.flush — cache store disk writes.
   ServeFrame,   ///< serve.frame — balign-serve request dispatch.
   AlignChain,   ///< align.chain — the Ext-TSP chain-merging aligner.
+  JournalAppend, ///< journal.append — checkpoint journal appends.
+  ClientConnect, ///< client.connect — ServeClient socket connects.
 };
 
-inline constexpr size_t NumFaultSites = 9;
+inline constexpr size_t NumFaultSites = 11;
 
 /// Returns the stable printable name, e.g. "tsp.solve".
 const char *faultSiteName(FaultSite Site);

@@ -1,0 +1,125 @@
+//===- robust/Journal.h - Crash-consistent append-only record journal -----===//
+//
+// Part of the balign project (PLDI 1997 branch-alignment reproduction).
+//
+//===--------------------------------------------------------------------===//
+///
+/// \file
+/// The balign-sentinel append journal backing `align_tool --checkpoint`:
+/// an ordered log of opaque byte records with the exactly-once recovery
+/// contract the chaos harness enforces — a record whose append()
+/// returned true survives any subsequent kill, and a record whose
+/// append() was killed mid-write is truncated away on the next open,
+/// never half-returned.
+///
+/// On-disk format (little-endian):
+///
+///   [8]   magic "BALNJRNL"
+///   [u32] format version
+///   [u32] reserved (0)
+///   record*:
+///     [u32] record size in bytes
+///     [record bytes]
+///     [u64] checksum over the record bytes
+///
+/// Recovery is truncate-and-salvage, mirroring the cache store's
+/// truncation semantics: open() scans records until the first torn or
+/// checksum-bad one, keeps everything before it, and ftruncates the
+/// file back to the last good boundary (so one crash never compounds
+/// into a permanently suspicious tail). A pre-sentinel checkpoint file
+/// — raw text lines with no magic — is migrated in place: its lines
+/// become records and the file is rewritten in journal format via the
+/// same fsync'd tmp-write-then-rename the cache store uses.
+///
+/// Durability: under Durability::Full (the default) every append is
+/// fsync'd before it reports success, so "returned true" means "on the
+/// platter". The journal.append fault site makes append failures
+/// injectable; the checkpoint.append crash site kills the process with
+/// half a record written, which is exactly what open()'s salvage must
+/// absorb.
+///
+//===--------------------------------------------------------------------===//
+
+#ifndef BALIGN_ROBUST_JOURNAL_H
+#define BALIGN_ROBUST_JOURNAL_H
+
+#include "robust/Durability.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace balign {
+
+/// What open() found and append() has done since; greppable one-line
+/// summary() for stderr reporting.
+struct JournalStats {
+  uint64_t Records = 0;        ///< Records salvaged by open().
+  uint64_t TornBytes = 0;      ///< Bytes truncated off a torn tail.
+  bool RecoveredTail = false;  ///< open() truncated a torn/bad tail.
+  bool MigratedLegacy = false; ///< open() rewrote a pre-journal file.
+  uint64_t Appends = 0;        ///< Successful append() calls.
+  uint64_t AppendFailures = 0; ///< append() calls that failed.
+
+  /// "records=3 torn-bytes=7 recovered=1 ..." stable key=value form.
+  std::string summary() const;
+};
+
+/// Checksum guarding one journal record (exposed so tests can craft
+/// and corrupt records byte-precisely).
+uint64_t journalChecksum(const void *Data, size_t Size);
+
+/// The crash-consistent append log. Not thread-safe: the one consumer
+/// (the batch driver) is serial by construction.
+class AppendJournal {
+public:
+  static constexpr uint32_t FormatVersion = 1;
+
+  /// Journal files start with these 8 bytes; anything else non-empty at
+  /// open() is treated as a legacy line-format checkpoint and migrated.
+  static const char Magic[8];
+
+  explicit AppendJournal(Durability Durable = Durability::Full)
+      : Durable(Durable) {}
+  ~AppendJournal() { close(); }
+
+  AppendJournal(const AppendJournal &) = delete;
+  AppendJournal &operator=(const AppendJournal &) = delete;
+
+  /// Opens (creating if missing) the journal at \p Path, salvaging every
+  /// complete record and truncating any torn tail. Returns false and
+  /// fills \p Error when the file cannot be read, repaired, or migrated;
+  /// the journal is then unusable (isOpen() == false).
+  bool open(const std::string &Path, std::string *Error = nullptr);
+
+  /// Appends one record. True means the record is durable (fsync'd under
+  /// Durability::Full) and will be in records() after any future open().
+  /// False (with \p Error filled) means the record must be treated as
+  /// never written — a torn attempt will be truncated by the next open.
+  bool append(const std::string &Record, std::string *Error = nullptr);
+
+  /// Every salvaged + successfully appended record, in append order
+  /// (duplicates preserved; consumers wanting set semantics dedupe).
+  const std::vector<std::string> &records() const { return Records; }
+
+  const JournalStats &stats() const { return Stats; }
+
+  bool isOpen() const { return Fd >= 0; }
+
+  /// Closes the descriptor; the journal stays readable via records().
+  void close();
+
+private:
+  bool writeHeaderLocked(std::string *Error);
+  bool migrateLegacy(const std::string &Contents, std::string *Error);
+
+  Durability Durable;
+  int Fd = -1;
+  std::string Path;
+  std::vector<std::string> Records;
+  JournalStats Stats;
+};
+
+} // namespace balign
+
+#endif // BALIGN_ROBUST_JOURNAL_H

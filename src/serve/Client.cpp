@@ -2,6 +2,8 @@
 
 #include "serve/Client.h"
 
+#include "robust/FaultInjector.h"
+
 #include <cerrno>
 #include <cstring>
 #include <sys/socket.h>
@@ -20,6 +22,21 @@ bool fail(std::string *Error, const std::string &Reason) {
 
 } // namespace
 
+uint64_t balign::requestFingerprint(const AlignRequest &Request) {
+  // FNV-1a + splitmix64 finalizer over the exact wire bytes, so the
+  // fingerprint pins what actually crosses the socket.
+  std::string Wire = encodeAlignRequest(Request);
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (char C : Wire) {
+    H ^= static_cast<uint8_t>(C);
+    H *= 0x100000001b3ULL;
+  }
+  H += 0x9e3779b97f4a7c15ULL;
+  H = (H ^ (H >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  H = (H ^ (H >> 27)) * 0x94d049bb133111ebULL;
+  return H ^ (H >> 31);
+}
+
 ServeClient &ServeClient::operator=(ServeClient &&Other) noexcept {
   if (this != &Other) {
     close();
@@ -34,6 +51,11 @@ ServeClient &ServeClient::operator=(ServeClient &&Other) noexcept {
 
 bool ServeClient::connectUnix(const std::string &Path, std::string *Error) {
   close();
+  // balign-shield fault site: a deterministic injectable connect
+  // failure, so reconnect-with-backoff is testable without racing a
+  // real server's lifecycle.
+  if (FaultInjector::instance().shouldFail(FaultSite::ClientConnect))
+    return fail(Error, "injected fault at 'client.connect'");
   sockaddr_un Addr;
   std::memset(&Addr, 0, sizeof(Addr));
   Addr.sun_family = AF_UNIX;
@@ -97,6 +119,64 @@ bool ServeClient::align(const AlignRequest &Request, std::string &Report,
     Report = Response.Body;
     return true;
   }
+  FrameError Code = FrameError::None;
+  std::string Message;
+  if (decodeErrorFrame(Response, Code, Message))
+    return fail(Error, std::string(frameErrorName(Code)) + ": " + Message);
+  return fail(Error, std::string("unexpected response frame '") +
+                         frameTypeName(Response.Type) + "'");
+}
+
+bool ServeClient::connectUnixRetry(const std::string &Path,
+                                   const RetryPolicy &Policy,
+                                   std::string *Error, const SleepFn &Sleep) {
+  std::string LastError;
+  RetryOutcome Outcome = retryWithBackoff(
+      Policy,
+      [&](std::string *AttemptError) {
+        return connectUnix(Path, AttemptError);
+      },
+      &LastError, Sleep);
+  if (Outcome.Succeeded)
+    return true;
+  return fail(Error, LastError + " (after " +
+                         std::to_string(Outcome.Attempts) + " attempts)");
+}
+
+bool ServeClient::alignWithRetry(const std::string &Path,
+                                 const AlignRequest &Request,
+                                 std::string &Report,
+                                 const RetryPolicy &Policy,
+                                 std::string *Error, const SleepFn &Sleep) {
+  // Encode once: every attempt resends these exact bytes, which is what
+  // makes the resend idempotent (requestFingerprint pins them).
+  Frame RequestFrame =
+      makeFrame(FrameType::Align, encodeAlignRequest(Request));
+  Frame Response;
+  std::string LastError;
+  RetryOutcome Outcome = retryWithBackoff(
+      Policy,
+      [&](std::string *AttemptError) {
+        if (!connected() && !connectUnix(Path, AttemptError))
+          return false;
+        if (!call(RequestFrame, Response, AttemptError)) {
+          // Transport broke mid-call (server died, stream torn): drop
+          // the connection so the next attempt starts fresh.
+          close();
+          return false;
+        }
+        return true;
+      },
+      &LastError, Sleep);
+  if (!Outcome.Succeeded)
+    return fail(Error, LastError + " (after " +
+                           std::to_string(Outcome.Attempts) + " attempts)");
+  if (Response.Type == FrameType::AlignOk) {
+    Report = Response.Body;
+    return true;
+  }
+  // A structured server answer — including Error frames — is
+  // definitive; retrying it would just repeat the same answer.
   FrameError Code = FrameError::None;
   std::string Message;
   if (decodeErrorFrame(Response, Code, Message))

@@ -2,6 +2,7 @@
 
 #include "serve/Protocol.h"
 
+#include <atomic>
 #include <bit>
 #include <cassert>
 #include <cerrno>
@@ -77,9 +78,17 @@ bool fail(std::string *Error, const char *Reason) {
   return false;
 }
 
+/// The drain check of setFrameReadInterrupt (balign-sentinel).
+std::atomic<bool (*)()> ReadInterruptCheck{nullptr};
+
 /// Reads exactly \p Size bytes. Returns the byte count actually read:
-/// Size on success, less on EOF, or SIZE_MAX on a read error.
-size_t readFull(int Fd, void *Data, size_t Size) {
+/// Size on success, less on EOF, or SIZE_MAX on a read error. With
+/// \p InterruptAtStart, an EINTR before the first byte consults the
+/// drain check and reports 0 (a clean EOF) when it says stop — used
+/// only for the length prefix, so an interrupt never tears a frame
+/// already in flight.
+size_t readFull(int Fd, void *Data, size_t Size,
+                bool InterruptAtStart = false) {
   uint8_t *Out = static_cast<uint8_t *>(Data);
   size_t Got = 0;
   while (Got != Size) {
@@ -90,8 +99,12 @@ size_t readFull(int Fd, void *Data, size_t Size) {
     }
     if (N == 0)
       return Got; // EOF.
-    if (errno == EINTR)
+    if (errno == EINTR) {
+      bool (*Check)() = ReadInterruptCheck.load(std::memory_order_relaxed);
+      if (InterruptAtStart && Got == 0 && Check && Check())
+        return 0; // Draining: end the stream at the frame boundary.
       continue;
+    }
     return SIZE_MAX;
   }
   return Got;
@@ -153,6 +166,8 @@ const char *balign::frameErrorName(FrameError Code) {
     return "rejected";
   case FrameError::Internal:
     return "internal";
+  case FrameError::Stuck:
+    return "stuck";
   }
   return "?";
 }
@@ -287,10 +302,15 @@ bool balign::decodeAlignRequest(const std::string &Body, AlignRequest &Out,
   return true;
 }
 
+void balign::setFrameReadInterrupt(bool (*Check)()) {
+  ReadInterruptCheck.store(Check, std::memory_order_relaxed);
+}
+
 ReadStatus balign::readFrame(int Fd, Frame &Out, FrameError &Code,
                              std::string &Message) {
   uint8_t LenBytes[4];
-  size_t Got = readFull(Fd, LenBytes, sizeof(LenBytes));
+  size_t Got = readFull(Fd, LenBytes, sizeof(LenBytes),
+                        /*InterruptAtStart=*/true);
   if (Got == 0)
     return ReadStatus::Eof;
   if (Got != sizeof(LenBytes)) {

@@ -96,6 +96,8 @@ enum class FrameError : uint8_t {
   Deadline = 9,     ///< The per-request deadline expired.
   Rejected = 10,    ///< Admission control: queue budget exhausted.
   Internal = 11,    ///< Anything else; the message says what.
+  Stuck = 12,       ///< Watchdog: the request blew past its deadline and
+                    ///< never returned; the worker was abandoned.
 };
 
 /// Returns a stable printable name ("bad-frame", "rejected", ...).
@@ -177,6 +179,16 @@ enum class ReadStatus : uint8_t {
 /// byte is ReadStatus::Eof.
 ReadStatus readFrame(int Fd, Frame &Out, FrameError &Code,
                      std::string &Message);
+
+/// balign-sentinel: optional process-global drain check consulted when a
+/// blocking frame read takes EINTR. When set and returning true, a read
+/// that has not yet consumed any byte of the next frame ends as a clean
+/// ReadStatus::Eof instead of being retried — so a non-SA_RESTART signal
+/// (SIGTERM on a pipe-mode server) ends the connection at a frame
+/// boundary while a partially read frame is still completed. Must be an
+/// async-signal-tolerant flag check; null (the default) preserves the
+/// retry-forever behavior.
+void setFrameReadInterrupt(bool (*Check)());
 
 /// Writes all of \p Data to \p Fd, retrying short writes and EINTR.
 /// Returns false on any unrecoverable write error (EPIPE after the peer

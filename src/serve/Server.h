@@ -39,7 +39,10 @@
 #include "trace/Scope.h"
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -101,12 +104,33 @@ struct ServeConfig {
   /// Deadline for requests that do not carry one (0 = unlimited).
   uint64_t DefaultDeadlineMs = 0;
 
+  /// balign-sentinel: how long a drain (SIGTERM / requestDrain) waits
+  /// for in-flight connections before escalating to a forced shutdown
+  /// (0 = wait forever). Measured on Clock, so tests drive the timeout
+  /// from a ManualClock.
+  uint64_t DrainTimeoutMs = 5000;
+
+  /// balign-sentinel: slack past a request's deadline before the
+  /// watchdog abandons it with FrameError::Stuck. The deadline itself is
+  /// enforced cooperatively inside the pipeline; the watchdog only fires
+  /// when a worker blew through it without returning. Requests with no
+  /// deadline at all are never flagged.
+  uint64_t StuckGraceMs = 1000;
+
+  /// Real-time interval between watchdog scans of the in-flight table.
+  uint64_t StuckPollMs = 20;
+
   /// Injectable clock for per-request deadlines (tests).
   ClockFn Clock;
 
   /// When set, cache counters are merged into metrics snapshots as
   /// "cache.<field>" (align_tool wires this to its CacheSession).
   std::function<CacheStats()> CacheStatsFn;
+
+  /// Test-only: run at the start of every pooled align task. Drain and
+  /// watchdog tests park a worker here (on a latch they control) to
+  /// make "request in flight" a deterministic state instead of a race.
+  std::function<void()> TestStallHook;
 };
 
 /// The long-lived server. Construct once over the shared
@@ -117,6 +141,7 @@ struct ServeConfig {
 class AlignServer {
 public:
   AlignServer(const AlignmentOptions &Base, ServeConfig Config);
+  ~AlignServer();
 
   /// How one connection ended.
   enum class ConnectionEnd : uint8_t {
@@ -132,8 +157,11 @@ public:
   ConnectionEnd serveConnection(int InFd, int OutFd);
 
   /// Listens on unix-domain socket \p Path (an existing file at Path is
-  /// replaced) and accepts until a Shutdown frame arrives. Returns 0 on
-  /// clean shutdown, 1 on setup failure (bind/listen).
+  /// replaced) and accepts until a Shutdown frame or a drain request
+  /// arrives. Returns 0 on clean shutdown (including a drain whose
+  /// in-flight work finished inside DrainTimeoutMs), 1 on setup failure
+  /// (bind/listen), 4 when the drain had to be forced — by a second
+  /// drain request or by the drain timeout expiring.
   int serveUnixSocket(const std::string &Path);
 
   /// Serves a single connection on stdin/stdout ("--serve -"): the
@@ -141,6 +169,32 @@ public:
   /// socket plumbing. Returns 0 when the stream ended cleanly or shut
   /// down, 1 when a protocol error closed it.
   int serveStdio();
+
+  /// balign-sentinel: the drain state machine, callable from any thread.
+  /// The first call begins a supervised drain — the accept loop stops,
+  /// connections stop reading new frames (their read side is shut
+  /// down), and in-flight requests run to completion under
+  /// DrainTimeoutMs. A second call (the double-SIGTERM escalation)
+  /// forces the drain: every in-flight request is answered with an
+  /// Error frame immediately and connections are torn down. This is
+  /// also the injectable signal-delivery hook — the SIGTERM/SIGINT
+  /// self-pipe ends here, and tests call it directly.
+  void requestDrain();
+
+  /// True once a drain has been requested.
+  bool draining() const { return Draining.load(); }
+
+  /// True once the drain was escalated (second signal or timeout).
+  bool drainForced() const { return ForcedDrain.load(); }
+
+  /// Installs SIGTERM/SIGINT handlers (no SA_RESTART) whose self-pipe
+  /// watcher thread calls requestDrain() per signal. Call once, from the
+  /// thread that owns the server, before serving. The handlers survive
+  /// the server; align_tool's serve mode is a serve-then-exit process.
+  void installSignalDrain();
+
+  /// Align requests currently in flight (admitted, not yet answered).
+  size_t inFlightRequests() const;
 
   /// The admission gate (tests pre-saturate it for deterministic
   /// Rejected coverage).
@@ -154,12 +208,48 @@ public:
   std::string metricsJson();
 
 private:
+  /// One response slot shared by the pool worker and the watchdog:
+  /// whichever calls complete() first wins, the other's frame is
+  /// dropped. The connection thread blocks on the future.
+  struct PendingResponse {
+    std::atomic<bool> Done{false};
+    std::promise<Frame> Promise;
+
+    /// True when this call fulfilled the promise.
+    bool complete(Frame Response) {
+      if (Done.exchange(true))
+        return false;
+      Promise.set_value(std::move(Response));
+      return true;
+    }
+  };
+
+  /// What the watchdog scans: when did the request start, how long was
+  /// it allowed, where to deliver the Stuck frame.
+  struct InFlightRequest {
+    uint64_t Id = 0;
+    uint64_t StartMs = 0;
+    uint64_t LimitMs = 0; ///< 0 = no deadline, never flagged stuck.
+    std::shared_ptr<PendingResponse> Pending;
+  };
+
   /// Dispatches one well-formed frame; returns the response to write.
   /// Sets \p SawShutdown for Shutdown frames.
   Frame dispatch(const Frame &Request, bool &SawShutdown);
 
-  /// Runs one align body on the pool and waits for its response.
-  Frame runAlign(const std::string &Body);
+  /// Runs one decoded align request on the pool and waits for its
+  /// response (from the worker — or from the watchdog/forced drain).
+  Frame runAlign(const AlignRequest &Request);
+
+  /// The watchdog thread body: periodically flags in-flight requests
+  /// that blew past deadline + StuckGraceMs with FrameError::Stuck.
+  void watchdogLoop();
+
+  /// Escalation: answer every in-flight request with an Error frame now
+  /// and tear down registered connections.
+  void forceDrain();
+
+  uint64_t nowMs() const;
 
   AlignService Service;
   ServeConfig Config;
@@ -168,6 +258,22 @@ private:
   MetricRegistry Metrics;
   std::atomic<bool> Stopping{false};
   std::atomic<int> ListenFd{-1};
+
+  // balign-sentinel drain/watchdog state.
+  std::atomic<int> DrainSignals{0};
+  std::atomic<bool> Draining{false};
+  std::atomic<bool> ForcedDrain{false};
+  std::atomic<uint64_t> NextRequestId{1};
+  std::atomic<size_t> ActiveConnections{0};
+  mutable std::mutex InFlightMutex;
+  std::vector<InFlightRequest> InFlight;
+  std::mutex ConnMutex;
+  std::vector<int> ConnFds;
+  std::thread Watchdog;
+  std::mutex WatchdogMutex;
+  std::condition_variable WatchdogCv;
+  bool WatchdogStop = false;
+  std::thread SignalWatcher;
 };
 
 } // namespace balign

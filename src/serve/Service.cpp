@@ -13,7 +13,11 @@ Frame AlignService::handleAlign(const std::string &Body) const {
   std::string Error;
   if (!decodeAlignRequest(Body, Req, &Error))
     return makeErrorFrame(FrameError::BadRequest, Error);
+  return handleAlign(Req);
+}
 
+Frame AlignService::handleAlign(const AlignRequest &Req) const {
+  std::string Error;
   std::optional<Program> Prog = parseProgram(Req.CfgText, &Error);
   if (!Prog)
     return makeErrorFrame(FrameError::ParseError, Error);

@@ -56,6 +56,11 @@ public:
   /// Deadline / Internal). Never throws.
   Frame handleAlign(const std::string &Body) const;
 
+  /// Runs one already-decoded request (the server decodes up front so
+  /// its watchdog can read the request's deadline before dispatch).
+  /// Same contract and byte-identical responses as the body overload.
+  Frame handleAlign(const AlignRequest &Req) const;
+
 private:
   const AlignmentOptions &Base;
   AlignServiceConfig Config;
