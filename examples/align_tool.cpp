@@ -132,6 +132,13 @@ struct ToolOptions {
   bool WeightsGiven = false;   ///< Whether --exttsp-weights appeared.
   double ExtTspForwardWeight = 0.0;
   double ExtTspBackwardWeight = 0.0;
+
+  // balign-displace flags. The encoding knobs write into the machine
+  // model; fingerprints absorb them only under a variable encoding.
+  BranchEncoding Encoding = BranchEncoding::Fixed;
+  bool EncodingGiven = false;   ///< Whether --encoding appeared at all.
+  uint64_t ShortRange = 0;      ///< --short-range value when given.
+  bool ShortRangeGiven = false; ///< Whether --short-range appeared.
   std::string ProfileFile;     ///< Read counts instead of simulating.
   std::string EmitProfileFile; ///< Dump the counts used.
   std::string CacheDir;        ///< Non-empty enables the disk cache.
@@ -240,6 +247,22 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Options) {
                           Options.ExtTspBackwardWeight, 1024.0))
         return false;
       Options.WeightsGiven = true;
+    } else if (Arg == "--encoding") {
+      const char *V = needValue("--encoding");
+      if (!V)
+        return false;
+      if (!parseBranchEncoding(V, Options.Encoding)) {
+        std::fprintf(stderr, "error: unknown --encoding '%s' (want "
+                     "fixed or short-long)\n", V);
+        return false;
+      }
+      Options.EncodingGiven = true;
+    } else if (Arg == "--short-range") {
+      // 0 is legal and meaningful: it forces every branch long, the
+      // degenerate case the displacement tests pin.
+      if (!needInt("--short-range", Options.ShortRange))
+        return false;
+      Options.ShortRangeGiven = true;
     } else if (Arg == "--budget") {
       if (!needInt("--budget", Options.Budget))
         return false;
@@ -390,6 +413,16 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Options) {
                   "  --exttsp-weights F,B  Ext-TSP forward,backward jump "
                   "weights as\n"
                   "                decimals in [0, 1024] (default 0.1,0.1)\n"
+                  "  --encoding E  branch encoding: fixed (default; every "
+                  "branch is one\n"
+                  "                instruction) or short-long (branches "
+                  "beyond the short\n"
+                  "                range grow and are re-priced by the "
+                  "displacement fixpoint)\n"
+                  "  --short-range N  short-form branch reach in bytes "
+                  "under --encoding\n"
+                  "                short-long (default 32768; 0 forces "
+                  "every branch long)\n"
                   "  --threads N   pipeline worker threads "
                   "(0 = all hardware threads, 1 = serial;\n"
                   "                results are identical at every "
@@ -841,6 +874,11 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr,
                    "warning: --objective only affects --aligner exttsp; "
                    "ignored\n");
+    if (Options.ShortRangeGiven &&
+        Options.Encoding != BranchEncoding::ShortLong)
+      std::fprintf(stderr,
+                   "warning: --short-range only affects --encoding "
+                   "short-long; ignored\n");
     if (!Options.CheckpointFile.empty() && Options.BatchFile.empty())
       std::fprintf(stderr,
                    "warning: --checkpoint is only meaningful with --batch; "
@@ -869,6 +907,13 @@ int main(int Argc, char **Argv) {
       AlignOptions.Model.ExtTspForwardWeight = Options.ExtTspForwardWeight;
       AlignOptions.Model.ExtTspBackwardWeight = Options.ExtTspBackwardWeight;
     }
+    // The branch-encoding knobs (balign-displace) likewise live on the
+    // model and must precede the cache session: fingerprints absorb
+    // them under a variable encoding.
+    if (Options.EncodingGiven)
+      AlignOptions.Model.Encoding = Options.Encoding;
+    if (Options.ShortRangeGiven)
+      AlignOptions.Model.ShortBranchRange = Options.ShortRange;
     AlignOptions.Solver.Seed = Options.Seed;
     AlignOptions.ComputeBounds = Options.ComputeBounds;
     AlignOptions.Threads = Options.Threads;

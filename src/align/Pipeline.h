@@ -155,6 +155,30 @@ inline uint64_t derivedSolverSeed(uint64_t RootSeed, size_t ProcIndex) {
   return RootSeed + 0x9e3779b9u * (static_cast<uint64_t>(ProcIndex) + 1);
 }
 
+/// balign-displace: one bounded-error refinement round for a variable
+/// branch encoding. The DTSP matrix prices every branch as short-form;
+/// under BranchEncoding::ShortLong the solved layout may widen some
+/// branches, whose long-form execution cost the solve never saw. This
+/// routine materializes \p L, runs the displacement fixpoint, and — when
+/// any branch went long — re-solves a copy of \p Atsp whose rows for the
+/// long-observed blocks carry longBranchEdgeSurcharge, with a seed
+/// derived from \p SolverOptions.Seed, then keeps whichever layout is
+/// cheaper under the encoding-aware total (evaluateLayout plus
+/// longBranchExtraPenalty). One round only: which branches go long is a
+/// property of the whole layout, so the surcharge can overprice blocks
+/// the re-solve brings back into short range, but the error is bounded
+/// by the total surcharge added (DESIGN.md section 17). Replayed
+/// verbatim by the determinism verify pass; must stay a pure function
+/// of its arguments. Returns true when the refit layout replaced \p L
+/// (updating \p Penalty, which excludes the long-branch surcharge, like
+/// every reported penalty). A no-op under BranchEncoding::Fixed.
+bool refineLayoutForEncoding(const Procedure &Proc,
+                             const ProcedureProfile &Train,
+                             const MachineModel &Model,
+                             const AlignmentTsp &Atsp,
+                             const IteratedOptOptions &SolverOptions,
+                             Layout &L, uint64_t &Penalty);
+
 /// Which algorithm produces the pipeline's primary layout
 /// (ProcedureAlignment::TspLayout — the name is historical; greedy and
 /// original are always computed alongside as baselines).

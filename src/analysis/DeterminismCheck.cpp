@@ -11,6 +11,9 @@
 //===--------------------------------------------------------------------===//
 
 #include "analysis/Verifier.h"
+
+#include "align/Penalty.h"
+#include "align/Pipeline.h"
 #include "robust/FaultInjector.h"
 
 using namespace balign;
@@ -70,9 +73,15 @@ size_t balign::checkDeterminism(const Procedure &Proc,
                      (Replay.Tour != ExpectedTour ? ") and a different tour"
                                                   : ")"));
 
-  // Stage 3: layout derivation from the expected tour.
+  // Stage 3: layout derivation from the expected tour, including the
+  // balign-displace refinement round (a no-op under a fixed encoding),
+  // which the contract requires to be a pure function like every other
+  // stage.
   if (isValidTour(ExpectedTour, ExpectedMatrix.Tsp.numCities())) {
     Layout L = layoutFromTour(Proc, ExpectedMatrix, ExpectedTour);
+    uint64_t Penalty = evaluateLayout(Proc, L, Model, Train, Train);
+    refineLayoutForEncoding(Proc, Train, Model, ExpectedMatrix, SolverOptions,
+                            L, Penalty);
     if (L.Order != ExpectedLayout.Order)
       Diags.report(Severity::Error, CheckId::DeterminismLayoutDiverged,
                    PassName, DiagLocation::procedure(Name),

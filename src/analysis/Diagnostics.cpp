@@ -148,6 +148,12 @@ const char *balign::checkIdName(CheckId Check) {
     return "lint.model-suspicious";
   case CheckId::LintObjectiveWindow:
     return "lint.objective.window";
+  case CheckId::DisplaceUnreachable:
+    return "displace.unreachable";
+  case CheckId::DisplaceNotMinimal:
+    return "displace.not-minimal";
+  case CheckId::DisplaceAddressMismatch:
+    return "displace.address-mismatch";
   }
   assert(false && "unknown check id");
   return "?";

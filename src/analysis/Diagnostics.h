@@ -134,6 +134,15 @@ enum class CheckId : uint16_t {
   LintLinearCfg,         ///< lint.linear-cfg
   LintModelSuspicious,   ///< lint.model-suspicious
   LintObjectiveWindow,   ///< lint.objective.window
+
+  // displace-check: branch-displacement encoding soundness (pass 9,
+  // analysis/DisplaceCheck.cpp). Errors mean the emitted code would not
+  // execute correctly (a short-form branch cannot reach its target);
+  // the minimality finding is a warning — wide-but-reachable code runs,
+  // it is just not the least fixpoint the solver promises.
+  DisplaceUnreachable,     ///< displace.unreachable
+  DisplaceNotMinimal,      ///< displace.not-minimal
+  DisplaceAddressMismatch, ///< displace.address-mismatch
 };
 
 /// Returns the stable printable ID, e.g. "cfg.unreachable-block".

@@ -1,0 +1,117 @@
+//===- analysis/DisplaceCheck.cpp - Branch-displacement soundness --------===//
+//
+// Pass 9 of balign-verify: is the branch encoding the displacement
+// fixpoint chose actually executable? Boender & Sacerdoti Coen proved
+// their assembler's branch-displacement pass correct in Matita; this
+// pass is the testing-time analogue of their central theorem, checked
+// on every layout instead of once in a proof assistant:
+//
+//  * item addresses are exactly the prefix sums of the item sizes the
+//    chosen encodings imply (displace.address-mismatch);
+//  * every branch site still encoded short can reach its target within
+//    MachineModel::ShortBranchRange (displace.unreachable) — this is
+//    the soundness half: a violation means the emitted code jumps wild;
+//  * every branch site encoded long actually needed it
+//    (displace.not-minimal) — the minimality half, a warning rather
+//    than an error because wide-but-reachable code runs correctly, it
+//    just is not the least fixpoint solveDisplacement promises.
+//
+// Under BranchEncoding::Fixed the displacement machinery must be a
+// strict no-op, so the pass degenerates to "no item is long-form".
+//
+//===--------------------------------------------------------------------===//
+
+#include "analysis/Verifier.h"
+
+#include "objective/Displace.h"
+#include "robust/FaultInjector.h"
+
+using namespace balign;
+
+static const char PassName[] = "displace-check";
+
+size_t balign::checkDisplacement(const Procedure &Proc,
+                                 const MaterializedLayout &Mat,
+                                 const MachineModel &Model,
+                                 DiagnosticEngine &Diags) {
+  size_t Before = Diags.errorCount();
+  const std::string &Name = Proc.getName();
+
+  // Address fidelity: the stored addresses must be exactly what the
+  // stored encodings imply. Recompute on a scratch copy so the audit
+  // never mutates the artifact it is auditing.
+  std::vector<LayoutItem> Recomputed = Mat.Items;
+  uint64_t Total = assignItemAddresses(Recomputed, Model);
+  for (size_t I = 0; I != Recomputed.size(); ++I)
+    if (Recomputed[I].Address != Mat.Items[I].Address)
+      Diags.report(Severity::Error, CheckId::DisplaceAddressMismatch, PassName,
+                   DiagLocation::procedure(Name),
+                   "item " + std::to_string(I) + " at address " +
+                       std::to_string(Mat.Items[I].Address) +
+                       ", but its encoding sizes place it at " +
+                       std::to_string(Recomputed[I].Address));
+  if (Total != Mat.TotalBytes)
+    Diags.report(Severity::Error, CheckId::DisplaceAddressMismatch, PassName,
+                 DiagLocation::procedure(Name),
+                 "TotalBytes " + std::to_string(Mat.TotalBytes) +
+                     " disagrees with the recomputed size " +
+                     std::to_string(Total));
+
+  if (Model.Encoding != BranchEncoding::ShortLong) {
+    // Fixed encoding: the fixpoint must not have run at all.
+    for (size_t I = 0; I != Mat.Items.size(); ++I)
+      if (Mat.Items[I].LongForm)
+        Diags.report(Severity::Error, CheckId::DisplaceAddressMismatch,
+                     PassName, DiagLocation::procedure(Name),
+                     "item " + std::to_string(I) +
+                         " is long-form under the fixed encoding");
+    return Diags.errorCount() - Before;
+  }
+
+  size_t LongSeen = 0;
+  for (const BranchSite &Site : collectBranchSites(Proc, Mat)) {
+    const LayoutItem &Item = Mat.Items[Site.ItemIndex];
+    uint64_t Disp =
+        branchDisplacement(Mat, Model, Site.ItemIndex, Site.Target);
+    BlockId Anchor = Item.isFixup() ? Site.Target : Item.Block;
+    if (!Item.LongForm && Disp > Model.ShortBranchRange)
+      Diags.report(Severity::Error, CheckId::DisplaceUnreachable, PassName,
+                   DiagLocation::block(Name, Anchor),
+                   "short-form branch at item " +
+                       std::to_string(Site.ItemIndex) + " spans " +
+                       std::to_string(Disp) + " bytes to block " +
+                       std::to_string(Site.Target) +
+                       ", beyond the short range of " +
+                       std::to_string(Model.ShortBranchRange));
+    else if (Item.LongForm && Disp <= Model.ShortBranchRange)
+      Diags.report(Severity::Warning, CheckId::DisplaceNotMinimal, PassName,
+                   DiagLocation::block(Name, Anchor),
+                   "long-form branch at item " +
+                       std::to_string(Site.ItemIndex) + " spans only " +
+                       std::to_string(Disp) +
+                       " bytes; the short form would reach");
+    LongSeen += Item.LongForm ? 1 : 0;
+  }
+  if (LongSeen != Mat.NumLongBranches)
+    Diags.report(Severity::Error, CheckId::DisplaceAddressMismatch, PassName,
+                 DiagLocation::procedure(Name),
+                 "NumLongBranches " + std::to_string(Mat.NumLongBranches) +
+                     " disagrees with the " + std::to_string(LongSeen) +
+                     " long-form branch sites present");
+  return Diags.errorCount() - Before;
+}
+
+size_t balign::checkDisplacement(const Procedure &Proc, const Layout &L,
+                                 const ProcedureProfile &Train,
+                                 const MachineModel &Model,
+                                 DiagnosticEngine &Diags) {
+  // Materialization is only defined on a legal layout; an illegal one
+  // is the layout-legality pass's finding, not ours.
+  if (!L.isValid(Proc))
+    return 0;
+  // Re-materializing replays the faultable fixpoint; an audit must
+  // neither trip armed faults nor skew their hit counters.
+  FaultInjector::ScopedSuppress SuppressFaults;
+  MaterializedLayout Mat = materializeLayout(Proc, L, Train, Model);
+  return checkDisplacement(Proc, Mat, Model, Diags);
+}

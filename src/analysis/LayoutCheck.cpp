@@ -19,6 +19,9 @@
 
 #include "analysis/Verifier.h"
 
+#include "objective/Displace.h"
+#include "robust/FaultInjector.h"
+
 using namespace balign;
 
 static const char PassName[] = "layout-check";
@@ -29,6 +32,10 @@ size_t balign::checkLayout(const Procedure &Proc, const Layout &L,
                            DiagnosticEngine &Diags) {
   size_t Before = Diags.errorCount();
   const std::string &Name = Proc.getName();
+  // Re-deriving the executable form below runs the same faultable
+  // displacement fixpoint the pipeline runs; replaying it for an audit
+  // must neither trip armed faults nor skew their hit counters.
+  FaultInjector::ScopedSuppress SuppressFaults;
 
   // Permutation validity first; materialization requires it.
   bool Permutation = L.Order.size() == Proc.numBlocks();
@@ -72,8 +79,7 @@ size_t balign::checkLayout(const Procedure &Proc, const Layout &L,
                    "item " + std::to_string(I) + " at address " +
                        std::to_string(Item.Address) + ", expected " +
                        std::to_string(NextAddress));
-    NextAddress = Item.Address +
-                  static_cast<uint64_t>(Item.SizeInstrs) * BytesPerInstr;
+    NextAddress = Item.Address + itemBytes(Item, Model);
   }
   if (Mat.TotalBytes != NextAddress || FixupsSeen != Mat.NumFixups)
     Diags.report(Severity::Error, CheckId::LayoutAddressDisorder, PassName,

@@ -63,6 +63,12 @@ void PipelineVerifier::afterProcedure(size_t ProcIndex, const Procedure &Proc,
   checkLayout(Proc, Result.OriginalLayout, Train, Model, Diags);
   checkLayout(Proc, Result.GreedyLayout, Train, Model, Diags);
   checkLayout(Proc, Result.TspLayout, Train, Model, Diags);
+  {
+    ScopedSpan DisplaceSpan("verify.displace.reachable", SpanCat::Verify);
+    checkDisplacement(Proc, Result.OriginalLayout, Train, Model, Diags);
+    checkDisplacement(Proc, Result.GreedyLayout, Train, Model, Diags);
+    checkDisplacement(Proc, Result.TspLayout, Train, Model, Diags);
+  }
   checkBounds(Proc, Result.Bounds, Result.TspPenalty, Diags);
 
   bool Profiled = Cache.Valid && Cache.ProcIndex == ProcIndex &&
@@ -97,6 +103,8 @@ size_t PipelineVerifier::verifyAlignment(const Program &Prog,
     checkLayout(Prog.proc(I), PA.OriginalLayout, Train.Procs[I], Model, Diags);
     checkLayout(Prog.proc(I), PA.GreedyLayout, Train.Procs[I], Model, Diags);
     checkLayout(Prog.proc(I), PA.TspLayout, Train.Procs[I], Model, Diags);
+    checkDisplacement(Prog.proc(I), PA.TspLayout, Train.Procs[I], Model,
+                      Diags);
     checkBounds(Prog.proc(I), PA.Bounds, PA.TspPenalty, Diags);
   }
   return Diags.errorCount() - Before;

@@ -226,6 +226,30 @@ size_t checkCounterMonotonic(const std::map<std::string, uint64_t> &Before,
                              const std::map<std::string, uint64_t> &After,
                              DiagnosticEngine &Diags);
 
+//===--------------------------------------------------------------------===//
+// 9. displace-check
+//===--------------------------------------------------------------------===//
+
+/// Encoding soundness of a materialized layout (displace.*), after
+/// Boender & Sacerdoti Coen: re-derives every item address from the item
+/// sizes and checks they match the stored ones
+/// (displace.address-mismatch), proves every short-form branch site can
+/// reach its target within MachineModel::ShortBranchRange
+/// (displace.unreachable — the emitted code would jump wild), and flags
+/// long-form branches whose displacement would in fact fit the short
+/// form (displace.not-minimal, a warning: the solver promises the least
+/// fixpoint, so a fitting long branch means wasted bytes, not broken
+/// code). Under BranchEncoding::Fixed the pass only asserts that no item
+/// is long-form. Returns the number of errors reported.
+size_t checkDisplacement(const Procedure &Proc, const MaterializedLayout &Mat,
+                         const MachineModel &Model, DiagnosticEngine &Diags);
+
+/// Convenience wrapper: materializes \p L (running the displacement
+/// fixpoint under fault suppression) and audits the result.
+size_t checkDisplacement(const Procedure &Proc, const Layout &L,
+                         const ProcedureProfile &Train,
+                         const MachineModel &Model, DiagnosticEngine &Diags);
+
 } // namespace balign
 
 #endif // BALIGN_ANALYSIS_VERIFIER_H

@@ -151,6 +151,16 @@ balign::fingerprintProcedureInputs(const Procedure &Proc,
     H.f64(Options.Model.ExtTspForwardWeight);
     H.f64(Options.Model.ExtTspBackwardWeight);
   }
+  // The branch encoding reshapes addresses and triggers the refit
+  // round, so its parameters are result-affecting — but only under a
+  // variable encoding. Fixed absorbs nothing, keeping fixed-encoding
+  // keys independent of knobs that cannot affect them.
+  if (Options.Model.Encoding != BranchEncoding::Fixed) {
+    H.u8(static_cast<uint8_t>(Options.Model.Encoding));
+    H.u64(Options.Model.ShortBranchRange);
+    H.u32(Options.Model.LongBranchExtraInstrs);
+    H.u32(Options.Model.LongBranchPenalty);
+  }
   // The effort decision is result-affecting: it rewrites the solver
   // options and may route the procedure to the greedy-only fast path.
   // Hash the *effective* options (after decideEffort — the same pure

@@ -50,7 +50,11 @@ namespace balign {
 /// PrimaryAligner::ExtTsp the objective kind and the model's Ext-TSP
 /// windows/weights are keyed and the (irrelevant) solver options are
 /// not.
-inline constexpr uint32_t CacheFormatVersion = 3;
+/// v4: under a variable branch encoding (balign-displace) the encoding
+/// kind, short range, long-branch growth, and long-branch penalty are
+/// keyed; BranchEncoding::Fixed absorbs nothing extra, so fixed-encoding
+/// keys stay stable across the encoding knobs.
+inline constexpr uint32_t CacheFormatVersion = 4;
 
 /// A 128-bit content fingerprint.
 struct Fingerprint {

@@ -52,6 +52,13 @@ enum class TerminatorKind : uint8_t {
 /// Returns a stable lowercase mnemonic ("jump", "cond", "multi", "ret").
 const char *terminatorKindName(TerminatorKind Kind);
 
+/// Largest InstrCount a single block may carry (2^28 instructions = 1 GiB
+/// of code at 4 bytes each — far beyond any real procedure). The text
+/// parser rejects larger sizes, so downstream address assignment can sum
+/// per-item byte sizes into a uint64_t without overflow checks on every
+/// add: even 2^32 maximal blocks total less than 2^62 bytes.
+inline constexpr uint32_t MaxBlockInstrCount = 1u << 28;
+
 /// A basic block: a run of straight-line instructions plus a terminator.
 /// Successor edges live in the owning Procedure.
 struct BasicBlock {

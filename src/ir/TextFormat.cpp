@@ -125,6 +125,12 @@ static bool parseBlockLine(Parser &P, const std::vector<std::string> &Tokens,
   }
   if (!SizeOk || Size < 1)
     return P.fail("block size must be a positive integer");
+  // Bound the size so address assignment (InstrCount * BytesPerInstr,
+  // summed over items) can never wrap a uint64_t — a crafted file with
+  // huge blocks must fail here, not corrupt addresses downstream.
+  if (Size > MaxBlockInstrCount)
+    return P.fail("block size " + Tokens[2] + " exceeds the limit of " +
+                  std::to_string(MaxBlockInstrCount) + " instructions");
   std::optional<TerminatorKind> Kind = parseKind(Tokens[3]);
   if (!Kind)
     return P.fail("unknown terminator kind '" + Tokens[3] + "'");

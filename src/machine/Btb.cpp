@@ -2,7 +2,7 @@
 
 #include "machine/Btb.h"
 
-#include "machine/MachineModel.h" // BytesPerInstr
+#include "machine/MachineModel.h" // instructionIndex
 
 #include <cassert>
 
@@ -18,7 +18,7 @@ Btb::Btb(size_t Entries) {
 }
 
 size_t Btb::indexOf(uint64_t Addr) const {
-  return static_cast<size_t>((Addr / BytesPerInstr) & (Tags.size() - 1));
+  return static_cast<size_t>(instructionIndex(Addr) & (Tags.size() - 1));
 }
 
 bool Btb::hit(uint64_t Addr, uint64_t Target) const {

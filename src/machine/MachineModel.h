@@ -41,6 +41,38 @@ namespace balign {
 /// 4-byte encoding).
 inline constexpr uint64_t BytesPerInstr = 4;
 
+/// Instruction index of byte address \p Addr — the unit the BTB and the
+/// bimodal predictor hash by. Long-form branch growth (see BranchEncoding
+/// below) is whole instructions, so this stays exact under every
+/// encoding.
+inline constexpr uint64_t instructionIndex(uint64_t Addr) {
+  return Addr / BytesPerInstr;
+}
+
+/// How block-ending branches are encoded. The paper's Alpha model uses
+/// one fixed-size encoding; real ISAs pick a short or long form from the
+/// branch's displacement — which itself depends on which forms every
+/// other branch picked. Boender & Sacerdoti Coen ("On the correctness of
+/// a branch displacement algorithm") formalize the resulting fixpoint;
+/// objective/Displace.h implements it.
+enum class BranchEncoding : uint8_t {
+  /// Every branch is one instruction regardless of distance (the Alpha
+  /// 21164 model of Table 3; the repo-wide default).
+  Fixed = 0,
+
+  /// A branch within ShortBranchRange bytes of its target keeps the
+  /// one-instruction short form; a farther one grows by
+  /// LongBranchExtraInstrs instructions and pays LongBranchPenalty extra
+  /// cycles per taken execution.
+  ShortLong = 1,
+};
+
+/// Stable flag spelling ("fixed" / "short-long").
+const char *branchEncodingName(BranchEncoding Encoding);
+
+/// Parses a branchEncodingName spelling; returns false on unknown names.
+bool parseBranchEncoding(const std::string &Name, BranchEncoding &Out);
+
 /// Penalty cycles for every block-ending control event, per terminator
 /// kind. All values are per dynamic execution of the event.
 struct MachineModel {
@@ -82,6 +114,28 @@ struct MachineModel {
   uint32_t ExtTspBackwardWindow = 640;
   double ExtTspForwardWeight = 0.1;
   double ExtTspBackwardWeight = 0.1;
+
+  /// Branch-encoding table. Under the default Fixed encoding everything
+  /// below is inert and addresses are exactly InstrCount * BytesPerInstr
+  /// — existing goldens and cache entries depend on that. Under
+  /// ShortLong, objective/Displace.h runs the grow-until-fixpoint
+  /// displacement algorithm over these parameters.
+  BranchEncoding Encoding = BranchEncoding::Fixed;
+
+  /// Maximum byte displacement (|target - branch end|) a short-form
+  /// branch can span. 32 KiB matches a 16-bit signed word-displacement
+  /// field at 4-byte granularity. A range of 0 forces every taken branch
+  /// long (the degenerate case the tests pin).
+  uint64_t ShortBranchRange = 32768;
+
+  /// Instructions a long-form branch adds over the short form (the
+  /// classic sequence is an inverted short branch over an absolute
+  /// jump: one extra instruction).
+  uint32_t LongBranchExtraInstrs = 1;
+
+  /// Extra penalty cycles a long-form branch pays per taken execution
+  /// (the extra issue slot of the jump in the inverted-branch sequence).
+  uint32_t LongBranchPenalty = 1;
 
   /// The Alpha 21164 model of Table 3 (misfetch 1, cond mispredict 5).
   static MachineModel alpha21164();

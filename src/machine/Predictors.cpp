@@ -2,7 +2,7 @@
 
 #include "machine/Predictors.h"
 
-#include "machine/MachineModel.h" // BytesPerInstr
+#include "machine/MachineModel.h" // instructionIndex
 
 #include <cassert>
 
@@ -17,7 +17,7 @@ BimodalPredictor::BimodalPredictor(size_t Entries) {
 size_t BimodalPredictor::indexOf(uint64_t Addr) const {
   // Branches are instruction-aligned; drop the byte-offset bits so
   // consecutive instructions map to consecutive counters.
-  return static_cast<size_t>((Addr / BytesPerInstr) &
+  return static_cast<size_t>(instructionIndex(Addr) &
                              (Counters.size() - 1));
 }
 

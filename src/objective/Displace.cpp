@@ -1,0 +1,189 @@
+//===- objective/Displace.cpp ---------------------------------------------===//
+
+#include "objective/Displace.h"
+
+#include "robust/FaultInjector.h"
+
+#include <cassert>
+
+using namespace balign;
+
+uint64_t balign::assignItemAddresses(std::vector<LayoutItem> &Items,
+                                     const MachineModel &Model) {
+  uint64_t Address = 0;
+  for (LayoutItem &Item : Items) {
+    Item.Address = Address;
+    uint64_t Bytes = itemBytes(Item, Model);
+    assert(Address <= UINT64_MAX - Bytes &&
+           "layout size overflows byte addressing");
+    Address += Bytes;
+  }
+  return Address;
+}
+
+std::vector<BranchSite>
+balign::collectBranchSites(const Procedure &Proc,
+                           const MaterializedLayout &Mat) {
+  std::vector<BranchSite> Sites;
+  for (size_t I = 0; I != Mat.Items.size(); ++I) {
+    const LayoutItem &Item = Mat.Items[I];
+    if (Item.isFixup()) {
+      Sites.push_back({I, Item.FixupTarget});
+      continue;
+    }
+    BlockId B = Item.Block;
+    switch (Proc.block(B).Kind) {
+    case TerminatorKind::Return:
+    case TerminatorKind::Multiway:
+      // No displacement field: returns leave the procedure, a multiway's
+      // register branch reaches any address.
+      break;
+
+    case TerminatorKind::Unconditional: {
+      // The terminator is a real jump only when the successor is not the
+      // next emitted block (fall throughs need no reach at all).
+      const LayoutItem *Next =
+          I + 1 != Mat.Items.size() ? &Mat.Items[I + 1] : nullptr;
+      BlockId Succ = Proc.successors(B)[0];
+      if (!Next || Next->isFixup() || Next->Block != Succ)
+        Sites.push_back({I, Succ});
+      break;
+    }
+
+    case TerminatorKind::Conditional:
+      // The taken direction is always an emitted branch; the
+      // fall-through side either needs no reach or is the following
+      // fixup jump, which enumerates itself.
+      Sites.push_back({I, Mat.Arrangements[B].TakenTarget});
+      break;
+    }
+  }
+  return Sites;
+}
+
+uint64_t balign::branchDisplacement(const MaterializedLayout &Mat,
+                                    const MachineModel &Model,
+                                    size_t ItemIndex, BlockId Target) {
+  const LayoutItem &Item = Mat.Items[ItemIndex];
+  uint64_t BranchEnd = Item.Address + itemBytes(Item, Model);
+  uint64_t TargetAddr = Mat.blockAddress(Target);
+  return TargetAddr >= BranchEnd ? TargetAddr - BranchEnd
+                                 : BranchEnd - TargetAddr;
+}
+
+DisplaceStats balign::solveDisplacement(const Procedure &Proc,
+                                        MaterializedLayout &Mat,
+                                        const MachineModel &Model) {
+  DisplaceStats Stats;
+  if (Model.Encoding != BranchEncoding::ShortLong)
+    return Stats;
+  // balign-shield fault site: any failure inside the fixpoint (e.g. an
+  // allocation failure on a pathological procedure) surfaces here for
+  // the pipeline to isolate and degrade like any other stage fault.
+  FaultInjector::instance().throwIfFault(FaultSite::DisplaceFixpoint);
+
+  std::vector<BranchSite> Sites = collectBranchSites(Proc, Mat);
+  for (LayoutItem &Item : Mat.Items)
+    Item.LongForm = false;
+  Mat.TotalBytes = assignItemAddresses(Mat.Items, Model);
+
+  // Grow until fixpoint: widen every out-of-range branch, reassign,
+  // repeat. Widening only adds bytes, so a branch in range of a *larger*
+  // code span was already widened or stays in range — encodings never
+  // shrink back, and each round either widens at least one of the
+  // |Sites| branches or terminates.
+  bool Changed = !Sites.empty();
+  while (Changed) {
+    ++Stats.Iterations;
+    assert(Stats.Iterations <= Sites.size() + 1 &&
+           "displacement fixpoint failed to converge");
+    Changed = false;
+    for (const BranchSite &Site : Sites) {
+      LayoutItem &Item = Mat.Items[Site.ItemIndex];
+      if (Item.LongForm)
+        continue;
+      if (branchDisplacement(Mat, Model, Site.ItemIndex, Site.Target) >
+          Model.ShortBranchRange) {
+        Item.LongForm = true;
+        Changed = true;
+      }
+    }
+    if (Changed)
+      Mat.TotalBytes = assignItemAddresses(Mat.Items, Model);
+  }
+
+  for (const LayoutItem &Item : Mat.Items)
+    if (Item.LongForm)
+      ++Stats.NumLongBranches;
+  Mat.NumLongBranches = Stats.NumLongBranches;
+  return Stats;
+}
+
+uint64_t balign::longBranchExtraPenalty(const Procedure &Proc,
+                                        const MaterializedLayout &Mat,
+                                        const ProcedureProfile &Charge,
+                                        const MachineModel &Model) {
+  uint64_t Extra = 0;
+  auto TakenCount = [&](BlockId B, BlockId Target) -> uint64_t {
+    const std::vector<BlockId> &Succs = Proc.successors(B);
+    for (size_t S = 0; S != Succs.size(); ++S)
+      if (Succs[S] == Target)
+        return Charge.edgeCount(B, S);
+    return 0;
+  };
+  BlockId LastBlock = InvalidBlock;
+  for (const LayoutItem &Item : Mat.Items) {
+    if (!Item.isFixup())
+      LastBlock = Item.Block;
+    if (!Item.LongForm)
+      continue;
+    if (Item.isFixup()) {
+      // A fixup jump executes once per traversal of the edge it
+      // realizes; its owning conditional is the block item before it.
+      assert(LastBlock != InvalidBlock && "fixup jump with no owner");
+      Extra += Model.LongBranchPenalty * TakenCount(LastBlock, Item.FixupTarget);
+    } else if (Proc.block(Item.Block).Kind == TerminatorKind::Unconditional) {
+      Extra += Model.LongBranchPenalty * Charge.edgeCount(Item.Block, 0);
+    } else {
+      assert(Proc.block(Item.Block).Kind == TerminatorKind::Conditional &&
+             "only branches with displacement fields can be long");
+      Extra += Model.LongBranchPenalty *
+               TakenCount(Item.Block, Mat.Arrangements[Item.Block].TakenTarget);
+    }
+  }
+  return Extra;
+}
+
+uint64_t balign::longBranchEdgeSurcharge(const Procedure &Proc,
+                                         const MachineModel &Model,
+                                         const ProcedureProfile &Predict,
+                                         const ProcedureProfile &Charge,
+                                         BlockId B, BlockId LayoutSucc) {
+  const std::vector<BlockId> &Succs = Proc.successors(B);
+  switch (Proc.block(B).Kind) {
+  case TerminatorKind::Return:
+  case TerminatorKind::Multiway:
+    return 0;
+
+  case TerminatorKind::Unconditional:
+    if (LayoutSucc == Succs[0])
+      return 0; // Fall through: no branch to widen.
+    return Charge.edgeCount(B, 0) * Model.LongBranchPenalty;
+
+  case TerminatorKind::Conditional: {
+    size_t P = Predict.hottestSuccessor(B);
+    size_t O = 1 - P;
+    uint64_t ChargeP = Charge.edgeCount(B, P);
+    uint64_t ChargeO = Charge.edgeCount(B, O);
+    if (LayoutSucc == Succs[P])
+      return ChargeO * Model.LongBranchPenalty; // Unlikely edge is taken.
+    if (LayoutSucc == Succs[O])
+      return ChargeP * Model.LongBranchPenalty; // Likely edge is taken.
+    // Fixup arrangement: one side leaves through the taken branch, the
+    // other through the fixup jump — both are emitted branches.
+    return (ChargeP + ChargeO) * Model.LongBranchPenalty;
+  }
+  }
+  assert(false && "unknown terminator kind");
+  return 0;
+}

@@ -1,0 +1,139 @@
+//===- objective/Displace.h - Addresses and branch displacement -----------===//
+//
+// Part of the balign project (PLDI 1997 branch-alignment reproduction).
+//
+//===--------------------------------------------------------------------===//
+///
+/// \file
+/// The one place block and item addresses are computed. Seven call sites
+/// used to hand-roll `InstrCount * BytesPerInstr` loops (objective
+/// scoring, layout materialization, layout verification, the simulator,
+/// lint, and the BTB/bimodal index hashes); they now share the checked
+/// helpers below, so a change to the encoding model cannot leave two of
+/// them silently disagreeing.
+///
+/// On top of the shared address assignment sits the branch displacement
+/// fixpoint (Boender & Sacerdoti Coen, "On the correctness of a branch
+/// displacement algorithm"): under MachineModel::Encoding == ShortLong a
+/// branch within ShortBranchRange bytes of its target keeps the short
+/// one-instruction form, a farther one grows by LongBranchExtraInstrs —
+/// which moves every later address, which can push further branches out
+/// of range. solveDisplacement starts all-short and widens out-of-range
+/// branches until nothing changes; growth is monotone (a widened branch
+/// never shrinks back), so the iteration terminates in at most
+/// #branch-sites rounds and lands on the least fixpoint: no layout with
+/// fewer long forms has every branch in range. The paper this mirrors
+/// exists because real assemblers got exactly this loop wrong, so
+/// analysis/DisplaceCheck.cpp re-proves reachability at final addresses
+/// (`verify.displace.reachable`).
+///
+//===--------------------------------------------------------------------===//
+
+#ifndef BALIGN_OBJECTIVE_DISPLACE_H
+#define BALIGN_OBJECTIVE_DISPLACE_H
+
+#include "ir/CFG.h"
+#include "machine/MachineModel.h"
+#include "objective/Layout.h"
+#include "profile/Profile.h"
+
+#include <cassert>
+#include <vector>
+
+namespace balign {
+
+/// Byte size of a straight-line run of \p Instrs instructions. Asserts
+/// the multiply cannot wrap (the text parser's MaxBlockInstrCount bound
+/// makes an overflowing count unreachable from parsed input).
+inline uint64_t instrBytes(uint64_t Instrs) {
+  assert(Instrs <= UINT64_MAX / BytesPerInstr &&
+         "instruction count overflows byte addressing");
+  return Instrs * BytesPerInstr;
+}
+
+/// Byte size of block \p B under the fixed encoding (no long-form
+/// growth); the unit every permutation-only scorer measures distance in.
+inline uint64_t blockBytes(const Procedure &Proc, BlockId B) {
+  return instrBytes(Proc.block(B).InstrCount);
+}
+
+/// Emitted byte size of \p Item: SizeInstrs plus the long-form growth of
+/// \p Model when the item's branch was widened by solveDisplacement.
+inline uint64_t itemBytes(const LayoutItem &Item, const MachineModel &Model) {
+  uint64_t Instrs = Item.SizeInstrs;
+  if (Item.LongForm)
+    Instrs += Model.LongBranchExtraInstrs;
+  return instrBytes(Instrs);
+}
+
+/// Assigns Items[i].Address sequentially from 0 using itemBytes and
+/// returns the total size. Asserts the running sum never wraps.
+uint64_t assignItemAddresses(std::vector<LayoutItem> &Items,
+                             const MachineModel &Model);
+
+/// One branch whose reach depends on addresses: the item carrying it and
+/// the CFG block it transfers to. Enumerated sites are: a conditional
+/// block's taken target, an inserted fixup jump's target, and the
+/// terminator jump of an unconditional block that does not fall through.
+/// Returns and multiway (register) branches carry no displacement.
+struct BranchSite {
+  size_t ItemIndex = 0;
+  BlockId Target = InvalidBlock;
+};
+
+/// Enumerates the displacement-bearing branches of \p Mat in item order.
+std::vector<BranchSite> collectBranchSites(const Procedure &Proc,
+                                           const MaterializedLayout &Mat);
+
+/// Byte displacement of the branch ending Items[\p ItemIndex] to the
+/// start of \p Target: |target address - item end|, the span a
+/// PC-relative offset field must cover.
+uint64_t branchDisplacement(const MaterializedLayout &Mat,
+                            const MachineModel &Model, size_t ItemIndex,
+                            BlockId Target);
+
+/// What solveDisplacement did, for logging and the property tests.
+struct DisplaceStats {
+  /// Widening rounds until nothing changed (>= 1 when any site exists).
+  size_t Iterations = 0;
+
+  /// Branches in long form at the fixpoint.
+  size_t NumLongBranches = 0;
+};
+
+/// Runs the grow-until-fixpoint displacement algorithm over \p Mat under
+/// \p Model: every branch starts short, any branch whose displacement at
+/// current addresses exceeds ShortBranchRange is widened, addresses are
+/// reassigned, and the sweep repeats until no branch widens. No-op under
+/// the Fixed encoding. Deterministic: the result is a pure function of
+/// (Proc, Mat, Model). balign-shield fault site `displace.fixpoint`.
+DisplaceStats solveDisplacement(const Procedure &Proc, MaterializedLayout &Mat,
+                                const MachineModel &Model);
+
+/// Extra penalty cycles the long-form branches of \p Mat cost beyond the
+/// encoding-blind evaluateLayout total: LongBranchPenalty per execution
+/// that actually takes a widened branch (charged with \p Charge, like
+/// every other penalty).
+uint64_t longBranchExtraPenalty(const Procedure &Proc,
+                                const MaterializedLayout &Mat,
+                                const ProcedureProfile &Charge,
+                                const MachineModel &Model);
+
+/// Pairwise cost-matrix surcharge for the encoding-aware re-solve: the
+/// extra cycles DTSP edge (\p B -> \p LayoutSucc) would pay if B's
+/// branch needs the long form — LongBranchPenalty times the executions
+/// that leave B through an emitted branch in that arrangement, mirroring
+/// the case analysis of blockLayoutPenalty. Whether the branch *does* go
+/// long depends on the whole layout, so the pipeline applies this only
+/// to blocks observed long in the first solve's materialization; the
+/// re-solve is then a standard one-round alternation with error bounded
+/// by the total surcharge applied (DESIGN.md §17).
+uint64_t longBranchEdgeSurcharge(const Procedure &Proc,
+                                 const MachineModel &Model,
+                                 const ProcedureProfile &Predict,
+                                 const ProcedureProfile &Charge, BlockId B,
+                                 BlockId LayoutSucc);
+
+} // namespace balign
+
+#endif // BALIGN_OBJECTIVE_DISPLACE_H

@@ -2,6 +2,7 @@
 
 #include "objective/Layout.h"
 
+#include "objective/Displace.h"
 #include "objective/Penalty.h"
 
 #include <cassert>
@@ -106,11 +107,11 @@ MaterializedLayout balign::materializeLayout(const Procedure &Proc,
     }
   }
 
-  uint64_t Address = 0;
-  for (LayoutItem &Item : Mat.Items) {
-    Item.Address = Address;
-    Address += static_cast<uint64_t>(Item.SizeInstrs) * BytesPerInstr;
-  }
-  Mat.TotalBytes = Address;
+  Mat.TotalBytes = assignItemAddresses(Mat.Items, Model);
+  // Under a variable encoding the addresses above are only the starting
+  // point: widening any out-of-range branch moves everything after it,
+  // so the displacement fixpoint reassigns until every branch's chosen
+  // form reaches its target (no-op under Fixed).
+  solveDisplacement(Proc, Mat, Model);
   return Mat;
 }

@@ -50,8 +50,16 @@ struct LayoutItem {
   /// Start address in bytes from the procedure base.
   uint64_t Address = 0;
 
-  /// Size in instructions (fixup jumps are a single instruction).
+  /// Size in instructions (fixup jumps are a single instruction),
+  /// excluding any long-form branch growth (see LongForm).
   uint32_t SizeInstrs = 1;
+
+  /// Under MachineModel::Encoding == ShortLong: true when the item's
+  /// branch had to take the long form because its short-form displacement
+  /// could not reach the target. Adds LongBranchExtraInstrs instructions
+  /// to the item's emitted size (itemBytes in objective/Displace.h).
+  /// Always false under the default Fixed encoding.
+  bool LongForm = false;
 
   bool isFixup() const { return Block == InvalidBlock; }
 };
@@ -93,6 +101,9 @@ struct MaterializedLayout {
 
   /// Number of inserted fixup jumps.
   size_t NumFixups = 0;
+
+  /// Number of items whose branch took the long form (0 under Fixed).
+  size_t NumLongBranches = 0;
 
   /// Address of original block \p Id.
   uint64_t blockAddress(BlockId Id) const {

@@ -2,6 +2,7 @@
 
 #include "objective/Objective.h"
 
+#include "objective/Displace.h"
 #include "objective/Penalty.h"
 
 #include <cassert>
@@ -61,12 +62,12 @@ double ExtTspObjective::scoreSequence(const Procedure &Proc,
   for (BlockId B : Seq) {
     assert(Start[B] == NotPlaced && "sequence repeats a block");
     Start[B] = Address;
-    Address += Proc.block(B).InstrCount * BytesPerInstr;
+    Address += blockBytes(Proc, B);
   }
 
   double Score = 0.0;
   for (BlockId B : Seq) {
-    uint64_t SrcEnd = Start[B] + Proc.block(B).InstrCount * BytesPerInstr;
+    uint64_t SrcEnd = Start[B] + blockBytes(Proc, B);
     const std::vector<BlockId> &Succs = Proc.successors(B);
     for (size_t S = 0; S != Succs.size(); ++S) {
       if (Start[Succs[S]] == NotPlaced)

@@ -63,6 +63,8 @@ const char *balign::faultSiteName(FaultSite Site) {
     return "journal.append";
   case FaultSite::ClientConnect:
     return "client.connect";
+  case FaultSite::DisplaceFixpoint:
+    return "displace.fixpoint";
   }
   return "?";
 }

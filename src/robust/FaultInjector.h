@@ -69,9 +69,10 @@ enum class FaultSite : uint8_t {
   AlignChain,   ///< align.chain — the Ext-TSP chain-merging aligner.
   JournalAppend, ///< journal.append — checkpoint journal appends.
   ClientConnect, ///< client.connect — ServeClient socket connects.
+  DisplaceFixpoint, ///< displace.fixpoint — the branch-displacement solve.
 };
 
-inline constexpr size_t NumFaultSites = 11;
+inline constexpr size_t NumFaultSites = 12;
 
 /// Returns the stable printable name, e.g. "tsp.solve".
 const char *faultSiteName(FaultSite Site);

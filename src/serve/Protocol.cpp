@@ -220,7 +220,8 @@ std::string balign::encodeAlignRequest(const AlignRequest &Request) {
   Out.push_back(static_cast<char>(Request.OnError));
   uint8_t Flags = (Request.ComputeBounds ? 1 : 0) |
                   (Request.HasProfile ? 2 : 0) |
-                  (Request.HasObjective ? 4 : 0);
+                  (Request.HasObjective ? 4 : 0) |
+                  (Request.HasEncoding ? 8 : 0);
   Out.push_back(static_cast<char>(Flags));
   Out.push_back(0); // Reserved; receivers require zero.
   putU32(Out, static_cast<uint32_t>(Request.CfgText.size()));
@@ -239,6 +240,12 @@ std::string balign::encodeAlignRequest(const AlignRequest &Request) {
     putU64(Out, std::bit_cast<uint64_t>(Request.ExtTspForwardWeight));
     putU64(Out, std::bit_cast<uint64_t>(Request.ExtTspBackwardWeight));
   }
+  if (Request.HasEncoding) {
+    Out.push_back(static_cast<char>(Request.Encoding));
+    putU64(Out, Request.ShortBranchRange);
+    putU32(Out, Request.LongBranchExtraInstrs);
+    putU32(Out, Request.LongBranchPenalty);
+  }
   return Out;
 }
 
@@ -256,13 +263,14 @@ bool balign::decodeAlignRequest(const std::string &Body, AlignRequest &Out,
     return fail(Error, "align request names an unknown effort policy");
   if (OnError > static_cast<uint8_t>(OnErrorPolicy::Skip))
     return fail(Error, "align request names an unknown on-error policy");
-  if (Flags & ~uint8_t(7))
+  if (Flags & ~uint8_t(15))
     return fail(Error, "align request sets unknown flag bits");
   Out.Effort = static_cast<EffortPolicy>(Effort);
   Out.OnError = static_cast<OnErrorPolicy>(OnError);
   Out.ComputeBounds = (Flags & 1) != 0;
   Out.HasProfile = (Flags & 2) != 0;
   Out.HasObjective = (Flags & 4) != 0;
+  Out.HasEncoding = (Flags & 8) != 0;
   if (!In.u32(CfgLen) || !In.bytes(CfgLen, Out.CfgText))
     return fail(Error, "align request CFG text is truncated");
   if (!In.u32(ProfLen) || !In.bytes(ProfLen, Out.ProfileText))
@@ -296,6 +304,19 @@ bool balign::decodeAlignRequest(const std::string &Body, AlignRequest &Out,
         !(Out.ExtTspBackwardWeight >= 0.0 &&
           Out.ExtTspBackwardWeight <= 1024.0))
       return fail(Error, "align request Ext-TSP weight is out of range");
+  }
+  if (Out.HasEncoding) {
+    uint8_t Encoding = 0;
+    if (!In.u8(Encoding) || !In.u64(Out.ShortBranchRange) ||
+        !In.u32(Out.LongBranchExtraInstrs) || !In.u32(Out.LongBranchPenalty))
+      return fail(Error, "align request encoding extension is truncated");
+    if (Encoding > static_cast<uint8_t>(BranchEncoding::ShortLong))
+      return fail(Error, "align request names an unknown branch encoding");
+    if (Out.LongBranchExtraInstrs > (1u << 20) ||
+        Out.LongBranchPenalty > (1u << 20))
+      return fail(Error, "align request long-branch parameter is out of "
+                         "range");
+    Out.Encoding = static_cast<BranchEncoding>(Encoding);
   }
   if (!In.atEnd())
     return fail(Error, "align request has trailing bytes");

@@ -122,6 +122,16 @@ struct Frame {
 /// follows the profile text. With the bit clear the body's byte layout
 /// is exactly the pre-extension one, so the committed golden frames and
 /// old clients keep working against a version-1 server unchanged.
+///
+/// Flag bit 8 carries the branch-encoding extension (--encoding and its
+/// knobs, balign-displace): when set, an extension block
+///
+///   [u8 encoding][u64 short range][u32 long extra instrs]
+///   [u32 long penalty]
+///
+/// follows the objective block (or the profile text when bit 2 is
+/// clear). Same compatibility story: with the bit clear the layout is
+/// byte-identical to the pre-extension one.
 struct AlignRequest {
   uint64_t Seed = 1;         ///< --seed: root solver/profile seed.
   uint64_t Budget = 50000;   ///< --budget: synthetic-profile branches.
@@ -131,6 +141,7 @@ struct AlignRequest {
   bool ComputeBounds = false; ///< --bounds.
   bool HasProfile = false;    ///< ProfileText is meaningful.
   bool HasObjective = false;  ///< The objective extension block is present.
+  bool HasEncoding = false;   ///< The encoding extension block is present.
   std::string CfgText;        ///< The textual CFG program.
   std::string ProfileText;    ///< Optional textual profile.
 
@@ -143,6 +154,13 @@ struct AlignRequest {
   uint32_t ExtTspBackwardWindow = 640;
   double ExtTspForwardWeight = 0.1;
   double ExtTspBackwardWeight = 0.1;
+
+  /// The encoding block; meaningful only under HasEncoding, same
+  /// all-defaults-is-a-no-op convention.
+  BranchEncoding Encoding = BranchEncoding::Fixed;
+  uint64_t ShortBranchRange = 32768;
+  uint32_t LongBranchExtraInstrs = 1;
+  uint32_t LongBranchPenalty = 1;
 };
 
 /// Serializes a frame to wire bytes (length prefix + header + body).

@@ -52,6 +52,15 @@ Frame AlignService::handleAlign(const AlignRequest &Req) const {
     Options.Model.ExtTspForwardWeight = Req.ExtTspForwardWeight;
     Options.Model.ExtTspBackwardWeight = Req.ExtTspBackwardWeight;
   }
+  if (Req.HasEncoding) {
+    // The encoding extension mirrors --encoding and its knobs
+    // (balign-displace); the fingerprint keys on these model fields only
+    // under a variable encoding, exactly as for the CLI.
+    Options.Model.Encoding = Req.Encoding;
+    Options.Model.ShortBranchRange = Req.ShortBranchRange;
+    Options.Model.LongBranchExtraInstrs = Req.LongBranchExtraInstrs;
+    Options.Model.LongBranchPenalty = Req.LongBranchPenalty;
+  }
   if (Config.Clock)
     Options.Clock = Config.Clock;
 

@@ -2,6 +2,7 @@
 
 #include "sim/Simulator.h"
 
+#include "objective/Displace.h"
 #include "sim/Replayer.h"
 
 #include <cassert>
@@ -47,9 +48,10 @@ bool TraceReplayer::isSuccessor(BlockId From, BlockId To) const {
 }
 
 void TraceReplayer::fetchItem(const LayoutItem &Item) {
-  uint64_t Misses = Cache.accessRange(
-      Base + Item.Address,
-      static_cast<uint64_t>(Item.SizeInstrs) * BytesPerInstr);
+  // The fetch footprint includes long-form branch growth, so encoding
+  // bloat shows up as I-cache pressure the same way it does on hardware.
+  uint64_t Misses =
+      Cache.accessRange(Base + Item.Address, itemBytes(Item, Config.Model));
   Result.CacheMisses += Misses;
   Result.CacheMissCycles += Misses * Config.CacheMissPenalty;
 }

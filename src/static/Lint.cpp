@@ -2,6 +2,7 @@
 
 #include "static/Lint.h"
 
+#include "objective/Displace.h"
 #include "static/Dominators.h"
 #include "static/Loops.h"
 #include "static/Reachability.h"
@@ -214,7 +215,7 @@ size_t lintObjectiveWindow(const Procedure &Proc,
                            DiagnosticEngine &Diags) {
   uint64_t TotalBytes = 0, HotBytes = 0, HotBlocks = 0;
   for (BlockId B = 0; B != Proc.numBlocks(); ++B) {
-    uint64_t Bytes = Proc.block(B).InstrCount * BytesPerInstr;
+    uint64_t Bytes = blockBytes(Proc, B);
     TotalBytes += Bytes;
     if (Profile.BlockCounts[B] != 0) {
       HotBytes += Bytes;

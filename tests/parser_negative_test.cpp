@@ -103,6 +103,25 @@ TEST(TextFormatNegativeTest, RejectsUnknownSuccessor) {
                         "nowhere");
 }
 
+TEST(TextFormatNegativeTest, RejectsOversizedBlock) {
+  // A crafted huge block must be rejected at parse time: address
+  // assignment multiplies InstrCount by BytesPerInstr and sums over
+  // items, and the MaxBlockInstrCount bound is what keeps that
+  // arithmetic from wrapping (balign-displace).
+  expectProgramRejected("program t\n"
+                        "proc f {\n  a: size 999999999 ret\n}\n",
+                        "exceeds the limit");
+  // One past the bound fails, the bound itself parses.
+  expectProgramRejected("program t\n"
+                        "proc f {\n  a: size 268435457 ret\n}\n",
+                        "exceeds the limit");
+  std::string Error;
+  EXPECT_TRUE(parseProgram("program t\n"
+                           "proc f {\n  a: size 268435456 ret\n}\n",
+                           &Error))
+      << Error;
+}
+
 TEST(TextFormatNegativeTest, RejectsTruncatedFile) {
   // File ends mid-procedure: the closing brace never arrives.
   expectProgramRejected("program t\n"
